@@ -1,0 +1,22 @@
+# Convenience targets.  `pip install -e .` needs the `wheel` package for
+# PEP 660 editable builds; in offline environments without it, the
+# legacy `setup.py develop` path below installs identically.
+
+.PHONY: install test bench experiments experiments-md all
+
+install:
+	pip install -e . 2>/dev/null || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.experiments
+
+experiments-md:
+	python benchmarks/generate_experiments_md.py
+
+all: install test bench

@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one of the paper's tables or
+figures: it runs the experiment once under ``pytest-benchmark``, prints
+the regenerated rows (the same series the paper reports), saves them
+under ``benchmarks/results/``, and asserts the paper's qualitative
+shape so a regression in the reproduction fails the bench.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.experiments.report import ExperimentOutput
+
+#: Materialized rows the engine executes on during benches.  Event
+#: counts are scaled to the paper's 60 M; this just sets bench runtime.
+BENCH_ROWS = 4_000
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def run_once(benchmark, fn) -> ExperimentOutput:
+    """Time one full regeneration of an experiment."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def publish(output: ExperimentOutput, filename: str) -> None:
+    """Print the regenerated figure and persist it under results/."""
+    text = output.render()
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / filename).write_text(text + "\n", encoding="utf-8")

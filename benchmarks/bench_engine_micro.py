@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the real Python engine (wall-clock).
+
+Unlike the figure benches (which time one regeneration of a simulated
+experiment), these measure the actual data path repeatedly: codec
+throughput and scanner throughput on materialized pages.  Useful for
+tracking regressions in the engine implementation itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression.base import CodecKind
+from repro.compression.registry import build_codec_for_values
+from repro.data.tpch import generate_lineitem
+from repro.engine.executor import run_scan
+from repro.engine.plan import ColumnScannerKind
+from repro.engine.predicate import predicate_for_selectivity
+from repro.engine.query import ScanQuery
+from repro.storage.layout import Layout
+from repro.storage.loader import load_table
+from repro.types.datatypes import IntType
+
+ROWS = 4_000
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_lineitem(ROWS, seed=5)
+
+
+@pytest.fixture(scope="module")
+def row_table(data):
+    return load_table(data, Layout.ROW)
+
+
+@pytest.fixture(scope="module")
+def column_table(data):
+    return load_table(data, Layout.COLUMN)
+
+
+@pytest.fixture(scope="module")
+def scan_query(data):
+    predicate = predicate_for_selectivity(
+        "L_PARTKEY", data.column("L_PARTKEY"), 0.10
+    )
+    return ScanQuery(
+        "LINEITEM",
+        select=("L_PARTKEY", "L_ORDERKEY", "L_QUANTITY", "L_SHIPMODE"),
+        predicates=(predicate,),
+    )
+
+
+@pytest.mark.parametrize(
+    "kind",
+    [CodecKind.PACK, CodecKind.DICT, CodecKind.FOR, CodecKind.FOR_DELTA],
+    ids=lambda kind: kind.value,
+)
+def bench_codec_roundtrip(benchmark, kind):
+    values = np.cumsum(np.ones(4_000, dtype=np.int64)) % 1_000 + 1
+    codec = build_codec_for_values(kind, IntType(), values, page_capacity_hint=4_000)
+
+    def roundtrip():
+        payload, state = codec.encode_page(values)
+        return codec.decode_page(payload, len(values), state)
+
+    out = benchmark(roundtrip)
+    np.testing.assert_array_equal(out, values)
+
+
+def bench_row_scan(benchmark, row_table, scan_query):
+    result = benchmark(lambda: run_scan(row_table, scan_query))
+    assert result.num_tuples > 0
+
+
+def bench_column_scan_pipelined(benchmark, column_table, scan_query):
+    result = benchmark(lambda: run_scan(column_table, scan_query))
+    assert result.num_tuples > 0
+
+
+def bench_column_scan_fused(benchmark, column_table, scan_query):
+    result = benchmark(
+        lambda: run_scan(
+            column_table, scan_query, column_scanner=ColumnScannerKind.FUSED
+        )
+    )
+    assert result.num_tuples > 0
+
+
+def bench_bulk_load_column(benchmark, data):
+    table = benchmark(lambda: load_table(data, Layout.COLUMN))
+    assert table.num_rows == ROWS

@@ -1,0 +1,27 @@
+"""Extension bench — Table 1's last row: more CPUs / more disks."""
+
+import numpy as np
+from _common import BENCH_ROWS, publish, run_once
+
+from repro.experiments.figures import capacity_sweep
+
+
+def bench_capacity_sweep(benchmark):
+    out = run_once(benchmark, lambda: capacity_sweep.run(num_rows=BENCH_ROWS))
+    publish(out, "ext_capacity_sweep.txt")
+
+    cpdb = out.series["cpdb"]
+    measured = out.series["measured"]
+    predicted = out.series["predicted"]
+    # Speedup is non-decreasing in cpdb: more disks hurt columns (the
+    # query turns CPU-bound), more CPUs help them.
+    order = np.argsort(cpdb)
+    sorted_measured = np.asarray(measured)[order]
+    assert all(
+        b >= a - 1e-9 for a, b in zip(sorted_measured, sorted_measured[1:])
+    )
+    # Model and simulator agree within 15% across the sweep.
+    rel_err = np.abs(np.asarray(predicted) - np.asarray(measured)) / np.asarray(
+        measured
+    )
+    assert rel_err.max() < 0.15

@@ -1,0 +1,21 @@
+"""Extension bench — operating directly on compressed data."""
+
+from _common import BENCH_ROWS, publish, run_once
+
+from repro.experiments.figures import compressed_execution
+
+
+def bench_compressed_execution(benchmark):
+    out = run_once(
+        benchmark, lambda: compressed_execution.run(num_rows=BENCH_ROWS)
+    )
+    publish(out, "ext_compressed_execution.txt")
+
+    decoded = out.series["decoded"]
+    on_codes = out.series["on_codes"]
+    projected = out.series["projected"]
+    # Where the predicate column is not projected, running on codes
+    # must be a strict CPU win.
+    for d, c, p in zip(decoded, on_codes, projected):
+        if p == 0.0:
+            assert c < d

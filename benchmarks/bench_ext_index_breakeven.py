@@ -1,0 +1,26 @@
+"""Extension bench — §2.1.1 index-vs-scan breakeven."""
+
+from _common import BENCH_ROWS, publish, run_once
+
+from repro.experiments.figures import index_breakeven
+
+
+def bench_index_breakeven(benchmark):
+    out = run_once(benchmark, lambda: index_breakeven.run(num_rows=BENCH_ROWS))
+    publish(out, "ext_index_breakeven.txt")
+
+    sequential = out.series["sequential"]
+    index = out.series["index"]
+    selectivity = out.series["selectivity"]
+    # The index wins only in a narrow low-selectivity band...
+    assert index[0] < sequential[0]
+    # ...and loses decisively at warehouse selectivities.
+    assert index[-1] > sequential[-1]
+    # The measured flip sits near the closed-form breakeven.
+    flips = [
+        s for s, i, q in zip(selectivity, index, sequential) if i > q
+    ]
+    breakeven = out.series["breakeven"][0]
+    assert flips and flips[0] / breakeven < 10
+    # The paper's reference configuration evaluates to ~0.008%.
+    assert abs(out.series["paper_reference"][0] - 8.5e-5) / 8.5e-5 < 0.05

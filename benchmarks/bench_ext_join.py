@@ -1,0 +1,20 @@
+"""Extension bench — merge-join analysis and the eq. 2 weighting."""
+
+from _common import BENCH_ROWS, publish, run_once
+
+from repro.experiments.figures import join_analysis
+
+
+def bench_join_analysis(benchmark):
+    out = run_once(benchmark, lambda: join_analysis.run(num_rows=BENCH_ROWS))
+    publish(out, "ext_join_analysis.txt")
+
+    # Columns win the join at narrow fact projections and the
+    # advantage decays as the projection widens.
+    speedups = out.series["speedup"]
+    assert speedups[0] > 3.0
+    assert all(b < a for a, b in zip(speedups, speedups[1:]))
+    # The weighted-file-rate prediction (eq. 2) matches the simulator.
+    predicted = out.series["eq2_predicted"][0]
+    measured = out.series["eq2_measured"][0]
+    assert abs(predicted - measured) / measured < 0.10

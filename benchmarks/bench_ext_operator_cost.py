@@ -1,0 +1,19 @@
+"""Extension bench — §5: expensive operators close the layout gap."""
+
+import numpy as np
+from _common import BENCH_ROWS, publish, run_once
+
+from repro.experiments.figures import operator_cost
+
+
+def bench_operator_cost(benchmark):
+    out = run_once(benchmark, lambda: operator_cost.run(num_rows=BENCH_ROWS))
+    publish(out, "ext_operator_cost.txt")
+
+    speedups = np.asarray(out.series["speedup"])
+    # In this CPU-bound configuration the row store wins the bare scan...
+    assert speedups[0] < 1.0
+    # ...and every added operator pulls the ratio toward 1.
+    gaps = np.abs(speedups - 1.0)
+    assert all(b <= a + 1e-9 for a, b in zip(gaps, gaps[1:]))
+    assert gaps[-1] < gaps[0]

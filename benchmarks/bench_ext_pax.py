@@ -1,0 +1,22 @@
+"""Extension bench — §6 NSM vs PAX vs DSM."""
+
+from _common import BENCH_ROWS, publish, run_once
+
+from repro.experiments.figures import pax_comparison
+
+
+def bench_pax_comparison(benchmark):
+    out = run_once(benchmark, lambda: pax_comparison.run(num_rows=BENCH_ROWS))
+    publish(out, "ext_pax_comparison.txt")
+
+    # PAX I/O matches the row store no matter the projection...
+    pax = out.series["pax_elapsed"]
+    row = out.series["row_elapsed"]
+    assert max(pax) - min(pax) < 0.02 * max(pax)
+    assert all(abs(p - r) / r < 0.10 for p, r in zip(pax, row))
+    # ...but its memory traffic scales with the projection like a
+    # column store's.
+    assert out.series["pax_mem"][0] < 0.2 * out.series["row_mem"][0]
+    assert out.series["pax_mem"][-1] > 5 * out.series["pax_mem"][0]
+    # The column store still wins on I/O for narrow projections.
+    assert out.series["col_elapsed"][0] < 0.2 * pax[0]

@@ -1,0 +1,23 @@
+"""Extension bench — the RLE benefit the paper refrained from."""
+
+from _common import BENCH_ROWS, publish, run_once
+
+from repro.experiments.figures import rle_projection
+
+
+def bench_rle_projection(benchmark):
+    out = run_once(benchmark, lambda: rle_projection.run(num_rows=BENCH_ROWS))
+    publish(out, "ext_rle_projection.txt")
+
+    # RLE halves the sorted key column versus Figure 5's FOR-delta.
+    fig5_bytes, rle_bytes = out.series["key_bytes"]
+    assert rle_bytes < 0.7 * fig5_bytes
+    # A projection sorted on a low-cardinality attribute collapses that
+    # column by orders of magnitude.
+    assert (
+        out.series["sorted_column_rle"][0]
+        < 0.05 * out.series["sorted_column_plain"][0]
+    )
+    # And scanning it never gets slower.
+    plain_elapsed, rle_elapsed = out.series["scan_elapsed"]
+    assert rle_elapsed <= plain_elapsed * 1.01

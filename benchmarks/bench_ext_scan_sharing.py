@@ -1,0 +1,24 @@
+"""Extension bench — §2.1.1 scan sharing."""
+
+from _common import BENCH_ROWS, publish, run_once
+
+from repro.experiments.figures import scan_sharing
+
+
+def bench_scan_sharing(benchmark):
+    out = run_once(benchmark, lambda: scan_sharing.run(num_rows=BENCH_ROWS))
+    publish(out, "ext_scan_sharing.txt")
+
+    speedups = out.series["speedup"]
+    queries = out.series["queries"]
+    # Sharing approaches an N-fold makespan improvement.
+    for count, speedup in zip(queries, speedups):
+        if count == 1:
+            assert abs(speedup - 1.0) < 0.01
+        else:
+            assert speedup > 0.85 * count
+    # A late arrival still finishes sooner shared than independent.
+    assert (
+        out.series["staggered_shared_late"][0]
+        < out.series["staggered_independent_late"][0]
+    )

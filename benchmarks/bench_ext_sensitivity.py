@@ -1,0 +1,15 @@
+"""Robustness bench — the conclusions survive 2x miscalibration."""
+
+from _common import BENCH_ROWS, publish, run_once
+
+from repro.experiments.figures import sensitivity
+
+
+def bench_calibration_sensitivity(benchmark):
+    out = run_once(benchmark, lambda: sensitivity.run(num_rows=BENCH_ROWS))
+    publish(out, "ext_sensitivity.txt")
+
+    assert all(v == 1.0 for v in out.series["claim1"])
+    assert all(v == 1.0 for v in out.series["claim2"])
+    # The 50%-projection speedup stays comfortably above 1 throughout.
+    assert min(out.series["speedup"]) > 2.0

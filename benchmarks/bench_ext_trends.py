@@ -1,0 +1,50 @@
+"""Extension bench — the conclusion's hardware-trend claim.
+
+"Current architectural trends suggest column stores ... will become an
+even more attractive architecture with time."
+"""
+
+from _common import publish, run_once
+
+from repro.experiments.report import ExperimentOutput, FigureResult
+from repro.model.params import QueryShape
+from repro.model.trends import (
+    columns_more_attractive_over_time,
+    speedup_trajectory,
+)
+
+YEARS = (1995, 2000, 2005, 2010, 2015, 2020, 2025)
+
+
+def run_trend() -> ExperimentOutput:
+    shape = QueryShape(
+        tuple_width=32.0,
+        selected_bytes=16.0,
+        selectivity=0.10,
+        num_attributes=8,
+        selected_attributes=4,
+    )
+    table = FigureResult(
+        title="Projected cpdb and column speedup (50% projection, 32 B tuples)",
+        headers=["year", "cpdb", "speedup"],
+    )
+    points = speedup_trajectory(shape, list(YEARS))
+    series = {"speedup": [], "cpdb": []}
+    for point in points:
+        table.add_row(point.year, round(point.cpdb, 1), round(point.speedup, 2))
+        series["speedup"].append(point.speedup)
+        series["cpdb"].append(point.cpdb)
+    output = ExperimentOutput(
+        name="Extension: hardware-trend projection", tables=[table], series=series
+    )
+    output.series["monotone"] = [
+        1.0 if columns_more_attractive_over_time(points) else 0.0
+    ]
+    return output
+
+
+def bench_hardware_trends(benchmark):
+    out = run_once(benchmark, run_trend)
+    publish(out, "ext_trends.txt")
+    assert out.series["monotone"][0] == 1.0
+    assert out.series["speedup"][-1] > out.series["speedup"][0]

@@ -1,0 +1,16 @@
+"""Figure 2 — the speedup contour over tuple width × cpdb."""
+
+from _common import publish, run_once
+
+from repro.experiments.figures import fig02_contour
+
+
+def bench_figure2_contour(benchmark):
+    out = run_once(benchmark, lambda: fig02_contour.run())
+    publish(out, "figure_02_contour.txt")
+
+    # Paper shape: rows win only for lean tuples in CPU-starved
+    # configurations; columns win everywhere else.
+    assert min(out.series["cpdb_144"]) > 1.0
+    assert out.series["cpdb_9"][0] < 1.0
+    assert out.series["cpdb_9"][-1] > 1.0

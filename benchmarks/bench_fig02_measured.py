@@ -1,0 +1,20 @@
+"""Figure 2 measured — simulation agrees with the Section 5 formula."""
+
+import numpy as np
+from _common import BENCH_ROWS, publish, run_once
+
+from repro.experiments.figures import fig02_measured
+
+
+def bench_figure2_measured(benchmark):
+    out = run_once(benchmark, lambda: fig02_measured.run(num_rows=BENCH_ROWS))
+    publish(out, "figure_02_measured.txt")
+
+    measured = np.asarray(out.series["measured"])
+    predicted = np.asarray(out.series["predicted"])
+    rel_err = np.abs(predicted - measured) / measured
+    # The formula tracks the simulator across the whole grid.  The
+    # largest deviations come from column-file seeks, which the model
+    # deliberately ignores ("we do not model disk seeks").
+    assert rel_err.max() < 0.15
+    assert ((measured > 1) == (predicted > 1)).all()

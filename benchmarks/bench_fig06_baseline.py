@@ -1,0 +1,25 @@
+"""Figure 6 — baseline LINEITEM selection at 10 % selectivity."""
+
+from _common import BENCH_ROWS, publish, run_once
+
+from repro.experiments.figures import fig06_baseline
+
+
+def bench_figure6_baseline(benchmark):
+    out = run_once(benchmark, lambda: fig06_baseline.run(num_rows=BENCH_ROWS))
+    publish(out, "figure_06_baseline.txt")
+
+    row = out.series["row_elapsed"]
+    col = out.series["col_elapsed"]
+    # The row store is flat in projectivity, near 9.5 GB / 180 MB/s.
+    assert max(row) - min(row) < 0.02 * max(row)
+    assert abs(row[0] - 52.5) / 52.5 < 0.05
+    # The column store wins until it selects >85% of the tuple bytes.
+    crossover = [
+        sel / 150
+        for sel, r, c in zip(out.series["selected_bytes"], row, col)
+        if c > r
+    ]
+    assert crossover and min(crossover) >= 0.85
+    # Column CPU exceeds row CPU once most attributes are selected.
+    assert out.series["col_cpu"][-1] > out.series["row_cpu"][-1]

@@ -1,0 +1,23 @@
+"""Figure 7 — CPU breakdown at 0.1 % selectivity."""
+
+from _common import BENCH_ROWS, publish, run_once
+
+from repro.experiments.figures import fig06_baseline, fig07_selectivity
+
+
+def bench_figure7_selectivity(benchmark):
+    out = run_once(benchmark, lambda: fig07_selectivity.run(num_rows=BENCH_ROWS))
+    publish(out, "figure_07_selectivity.txt")
+
+    baseline = fig06_baseline.run(num_rows=BENCH_ROWS)
+    # Additional attributes add negligible CPU at 0.1% selectivity.
+    growth_low = out.series["col_cpu"][-1] - out.series["col_cpu"][0]
+    growth_high = baseline.series["col_cpu"][-1] - baseline.series["col_cpu"][0]
+    assert growth_low < 0.5 * growth_high
+    # The string columns' memory delays disappear.
+    assert max(out.series["col_l2"]) < 0.3
+    # I/O time is untouched by selectivity.
+    assert (
+        abs(out.series["col_elapsed"][-1] - baseline.series["col_elapsed"][-1])
+        < 0.02 * baseline.series["col_elapsed"][-1]
+    )

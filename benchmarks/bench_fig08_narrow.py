@@ -1,0 +1,19 @@
+"""Figure 8 — narrow tuples (ORDERS, 32 bytes)."""
+
+from _common import BENCH_ROWS, publish, run_once
+
+from repro.experiments.figures import fig08_narrow
+
+
+def bench_figure8_narrow(benchmark):
+    out = run_once(benchmark, lambda: fig08_narrow.run(num_rows=BENCH_ROWS))
+    publish(out, "figure_08_narrow.txt")
+
+    # 1.9 GB over 180 MB/s: ~10.8 s, flat for the row store.
+    row = out.series["row_elapsed"]
+    assert abs(row[0] - 10.8) / 10.8 < 0.05
+    assert max(row) - min(row) < 0.02 * max(row)
+    # Memory delays are no longer visible on narrow tuples.
+    assert max(out.series["col_l2"]) < 0.05
+    # Column CPU overtakes row CPU (the memory-resident caveat of §4.3).
+    assert out.series["col_cpu"][-1] > out.series["row_cpu"][-1]

@@ -1,0 +1,28 @@
+"""Figure 9 — compression (ORDERS-Z), FOR vs FOR-delta."""
+
+from _common import BENCH_ROWS, publish, run_once
+
+from repro.experiments.figures import fig09_compression
+
+
+def bench_figure9_compression(benchmark):
+    out = run_once(benchmark, lambda: fig09_compression.run(num_rows=BENCH_ROWS))
+    publish(out, "figure_09_compression.txt")
+
+    # The compressed column store is CPU-bound: elapsed tracks CPU.
+    delta_elapsed = out.series["col_delta_elapsed"]
+    delta_cpu = out.series["col_delta_cpu"]
+    assert all(abs(e - c) < 0.02 * e for e, c in zip(delta_elapsed, delta_cpu))
+    # FOR-delta's whole-page decode jumps when attribute #2 arrives.
+    jump_delta = delta_cpu[1] - delta_cpu[0]
+    jump_for = out.series["col_for_cpu"][1] - out.series["col_for_cpu"][0]
+    assert jump_delta > jump_for
+    # The row store shows its first CPU rise, from decompression.
+    assert out.series["row_cpu"][-1] > out.series["row_cpu"][0]
+    # The crossover moved left: the column store loses before full
+    # projectivity on this compressed narrow table.
+    losing = [
+        c > r
+        for c, r in zip(delta_elapsed, out.series["row_elapsed"])
+    ]
+    assert any(losing[:-1])

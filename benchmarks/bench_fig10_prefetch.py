@@ -1,0 +1,23 @@
+"""Figure 10 — prefetch-depth sweep on ORDERS."""
+
+from _common import BENCH_ROWS, publish, run_once
+
+from repro.experiments.figures import fig10_prefetch
+
+
+def bench_figure10_prefetch(benchmark):
+    out = run_once(benchmark, lambda: fig10_prefetch.run(num_rows=BENCH_ROWS))
+    publish(out, "figure_10_prefetch.txt")
+
+    # The column store degrades monotonically as prefetch shrinks...
+    at_full_projectivity = [
+        out.series[f"col_depth_{d}"][-1] for d in (48, 16, 8, 4, 2)
+    ]
+    assert all(
+        b > a for a, b in zip(at_full_projectivity, at_full_projectivity[1:])
+    )
+    # ...while a single row scan is untouched by prefetch depth.
+    row = out.series["row_elapsed"]
+    assert max(row) - min(row) < 1e-6
+    # Depth 2 costs the column store at least 2x over depth 48.
+    assert at_full_projectivity[-1] > 2 * at_full_projectivity[0]

@@ -1,0 +1,21 @@
+"""Figure 11 — competing disk traffic at prefetch 48 / 8 / 2."""
+
+from _common import BENCH_ROWS, publish, run_once
+
+from repro.experiments.figures import fig11_competing
+
+
+def bench_figure11_competing(benchmark):
+    out = run_once(benchmark, lambda: fig11_competing.run(num_rows=BENCH_ROWS))
+    publish(out, "figure_11_competing.txt")
+
+    for depth in (48, 8, 2):
+        row = out.series[f"row_{depth}"]
+        fast = out.series[f"col_{depth}"]
+        slow = out.series[f"col_slow_{depth}"]
+        # The column system outperforms the row system in all
+        # configurations — the paper's surprising result.
+        assert all(c < r for c, r in zip(fast, row))
+        # The "slow" submission variant gives the advantage back.
+        assert all(s >= f for f, s in zip(fast, slow))
+        assert abs(slow[-1] - row[-1]) < 0.15 * row[-1]

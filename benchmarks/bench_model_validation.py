@@ -1,0 +1,18 @@
+"""Section 5 — analytical model vs simulator measurement."""
+
+import numpy as np
+from _common import BENCH_ROWS, publish, run_once
+
+from repro.experiments.figures import model_validation
+
+
+def bench_model_validation(benchmark):
+    out = run_once(benchmark, lambda: model_validation.run(num_rows=BENCH_ROWS))
+    publish(out, "model_validation.txt")
+
+    measured = np.array(out.series["measured"])
+    predicted = np.array(out.series["predicted"])
+    rel_err = np.abs(predicted - measured) / measured
+    assert rel_err.max() < 0.25
+    # Predictions agree on who wins in every case.
+    assert ((measured > 1) == (predicted > 1)).mean() >= 0.85

@@ -1,0 +1,11 @@
+"""Table 1 — the expected performance-trend directions."""
+
+from _common import BENCH_ROWS, publish, run_once
+
+from repro.experiments.figures import table1_trends
+
+
+def bench_table1_trends(benchmark):
+    out = run_once(benchmark, lambda: table1_trends.run(num_rows=BENCH_ROWS))
+    publish(out, "table_1_trends.txt")
+    assert all(v == 1.0 for v in out.series["holds"])

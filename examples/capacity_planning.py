@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Capacity planning with the Section 5 analytical model.
+
+A DBA's what-if session: for a fixed query (50 % projection, 10 %
+selectivity over a 32-byte fact table), how does the column store's
+advantage move as the machine changes?  The model folds CPUs, disks,
+and competing traffic into the single cpdb knob (cycles per
+sequentially delivered disk byte):
+
+* more disks  → fewer cycles pass per byte → cpdb drops,
+* more CPUs   → more cycles per byte      → cpdb grows,
+* competing CPU traffic lowers cpdb; competing disk traffic raises it.
+
+Run with::
+
+    python examples/capacity_planning.py
+"""
+
+from repro import QueryShape, SpeedupModel
+from repro.model.contour import speedup_grid
+from repro.model.speedup import crossover_projectivity
+
+CONFIGURATIONS = (
+    # (description, cpdb)
+    ("1995 desktop (1 CPU / 1 disk)", 10.0),
+    ("paper testbed (1 CPU / 3 disks)", 18.0),
+    ("2005 desktop (1 CPU / 1 disk)", 30.0),
+    ("paper testbed on one disk", 54.0),
+    ("modern dual-CPU single-disk box", 108.0),
+    ("big SMP over a saturated SAN", 400.0),
+)
+
+
+def main() -> None:
+    model = SpeedupModel()
+    shape = QueryShape(
+        tuple_width=32.0,
+        selected_bytes=16.0,
+        selectivity=0.10,
+        num_attributes=8,
+        selected_attributes=4,
+    )
+    print("query: 50% projection, 10% selectivity, 32-byte tuples\n")
+    print(f"{'configuration':38s} {'cpdb':>6s} {'speedup':>8s}  bound")
+    for label, cpdb in CONFIGURATIONS:
+        value = model.predict(shape, cpdb=cpdb)
+        rates = model.rates(shape, cpdb=cpdb)
+        column_bound = (
+            "I/O" if rates["disk_column"] <= rates["cpu_column"] else "CPU"
+        )
+        print(f"{label:38s} {cpdb:6.0f} {value:8.2f}  column store is "
+              f"{column_bound}-bound")
+
+    print("\nwhere does the row store start winning? "
+          "(crossover projectivity, 10% selectivity)")
+    for width, attrs in ((8, 2), (16, 4), (32, 8), (150, 16)):
+        for cpdb in (9.0, 18.0, 54.0):
+            crossover = crossover_projectivity(
+                model, float(width), attrs, 0.10, cpdb=cpdb
+            )
+            verdict = (
+                f"rows win from {crossover:.0%} projection"
+                if crossover is not None
+                else "columns win at every projection"
+            )
+            print(f"  width {width:3d}B, cpdb {cpdb:3.0f}: {verdict}")
+
+    print("\nthe full Figure 2 contour:")
+    print(speedup_grid(model).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Physical design: compression advisor, MV advisor, layout advisor.
+
+The Figure 1 architecture surrounds the read-optimized store with
+design-time advisors.  This example runs all three against a workload:
+
+1. the **compression advisor** picks a light-weight scheme per column
+   and reports the achieved tuple width (compare with Figure 5's
+   ORDERS-Z: 12 bytes);
+2. the **MV advisor** proposes vertical partitions from the queries'
+   attribute co-occurrence;
+3. the **layout advisor** uses the Section 5 analytical model to
+   recommend row vs column storage for the workload on two machines
+   (the paper's 18-cpdb testbed and a CPU-starved 9-cpdb box).
+
+Run with::
+
+    python examples/physical_design.py
+"""
+
+from repro import ScanQuery, generate_orders, predicate_for_selectivity
+from repro.compression import CompressionAdvisor
+from repro.design import LayoutAdvisor, MaterializedViewAdvisor
+from repro.units import bits_to_bytes
+
+
+def main() -> None:
+    orders = generate_orders(8_000, seed=3)
+    schema = orders.schema
+
+    # --- 1. compression advisor -------------------------------------------
+    advisor = CompressionAdvisor(prefer_cheap_decode=False)
+    attr_types = {attr.name: attr.attr_type for attr in schema}
+    specs = advisor.advise(attr_types, orders.columns)
+    compressed = schema.with_codecs(specs)
+    print("compression advisor choices:")
+    for attr in compressed:
+        print(f"  {attr.describe()}")
+    print(
+        f"tuple: {schema.tuple_width} bytes -> "
+        f"{bits_to_bytes(compressed.packed_tuple_bits)} bytes packed "
+        f"({compressed.packed_tuple_bits} bits; Figure 5's ORDERS-Z is 12 bytes)\n"
+    )
+
+    # --- 2. the workload ------------------------------------------------------
+    recent = predicate_for_selectivity(
+        "O_ORDERDATE", orders.column("O_ORDERDATE"), 0.10
+    )
+    workload = [
+        ScanQuery("ORDERS", select=("O_ORDERDATE", "O_TOTALPRICE"),
+                  predicates=(recent,)),
+        ScanQuery("ORDERS", select=("O_ORDERDATE", "O_ORDERPRIORITY",
+                                    "O_TOTALPRICE"), predicates=(recent,)),
+        ScanQuery("ORDERS", select=("O_ORDERKEY", "O_CUSTKEY")),
+    ]
+    print("workload:")
+    for query in workload:
+        print(f"  {query.describe()}")
+    print()
+
+    # --- 3. MV advisor ---------------------------------------------------------
+    mv_advisor = MaterializedViewAdvisor(schema)
+    print("materialized-view candidates (vertical partitions):")
+    for view in mv_advisor.advise(workload):
+        print(
+            f"  {view.attributes}  covers {view.coverage:.0%} of scans, "
+            f"stores {view.view_width}/{view.base_width} bytes per tuple "
+            f"(saves {view.bytes_saved_fraction:.0%} of I/O)"
+        )
+    print()
+
+    # --- 4. layout advisor -------------------------------------------------------
+    layout_advisor = LayoutAdvisor()
+    selectivities = [0.10, 0.10, 1.00]
+    pairs = list(zip(workload, selectivities))
+    for cpdb, label in ((18.0, "paper testbed, 18 cpdb"),
+                        (9.0, "CPU-starved box, 9 cpdb"),
+                        (108.0, "modern desktop, 108 cpdb")):
+        recommendation = layout_advisor.recommend(schema, pairs, cpdb=cpdb)
+        print(f"[{label}]")
+        print(recommendation.describe())
+        print()
+
+
+if __name__ == "__main__":
+    main()

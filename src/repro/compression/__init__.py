@@ -1,0 +1,45 @@
+"""Light-weight, fixed-width compression schemes (Section 2.2.1).
+
+The paper studies three database-specific compression techniques that
+yield the same compression ratio for row and column data and produce
+fixed-length compressed values:
+
+* **Bit packing** (null suppression) — :mod:`repro.compression.bitpack`
+* **Dictionary** (+ bit packing of the codes) —
+  :mod:`repro.compression.dictionary`
+* **FOR / FOR-delta** (frame of reference) — :mod:`repro.compression.frame`
+
+Uncompressed storage is modelled by :mod:`repro.compression.identity` so
+that every column goes through the same codec interface.
+"""
+
+from repro.compression.advisor import CompressionAdvisor, choose_spec
+from repro.compression.base import Codec, CodecKind, CodecSpec, PageCodecState
+from repro.compression.bitpack import BitPackCodec, pack_bits, unpack_bits
+from repro.compression.dictionary import DictionaryCodec
+from repro.compression.frame import ForCodec, ForDeltaCodec
+from repro.compression.identity import IdentityCodec
+from repro.compression.registry import build_codec, build_codec_for_values
+from repro.compression.rle import RleCodec, find_runs
+from repro.compression.textpack import TextPackCodec
+
+__all__ = [
+    "Codec",
+    "CodecKind",
+    "CodecSpec",
+    "PageCodecState",
+    "BitPackCodec",
+    "DictionaryCodec",
+    "ForCodec",
+    "ForDeltaCodec",
+    "IdentityCodec",
+    "RleCodec",
+    "find_runs",
+    "TextPackCodec",
+    "CompressionAdvisor",
+    "choose_spec",
+    "build_codec",
+    "build_codec_for_values",
+    "pack_bits",
+    "unpack_bits",
+]

@@ -1,0 +1,143 @@
+"""Compression advisor (the Figure 1 component).
+
+Given a column's values, picks the light-weight scheme with the smallest
+fixed packed width, optionally weighing decode cost: FOR-delta saves bits
+over FOR on value-local data but forces whole-page decodes (Figure 9), so
+a CPU-constrained design may prefer FOR even when it is wider.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.base import CodecKind, CodecSpec
+from repro.compression.bitpack import BitPackCodec
+from repro.compression.dictionary import DictionaryCodec
+from repro.compression.frame import ForCodec, ForDeltaCodec
+from repro.compression.identity import IdentityCodec
+from repro.compression.textpack import TextPackCodec
+from repro.errors import CompressionError
+from repro.types.datatypes import AttributeType, FixedTextType, IntType
+
+#: Dictionaries larger than this are not worth the lookup table.
+DEFAULT_MAX_DICTIONARY = 4096
+
+
+@dataclass(frozen=True)
+class AdvisorChoice:
+    """One candidate scheme with its packed width."""
+
+    spec: CodecSpec
+    bits: int
+
+    @property
+    def kind(self) -> CodecKind:
+        return self.spec.kind
+
+
+def candidate_specs(
+    attr_type: AttributeType,
+    values: np.ndarray,
+    page_capacity_hint: int = 4096,
+    max_dictionary: int = DEFAULT_MAX_DICTIONARY,
+) -> list[AdvisorChoice]:
+    """Enumerate every scheme applicable to this column's data."""
+    choices = [
+        AdvisorChoice(
+            spec=IdentityCodec.spec_for_type(attr_type),
+            bits=attr_type.width * 8,
+        )
+    ]
+    distinct = np.unique(np.asarray(values)) if np.asarray(values).size else None
+    if distinct is not None and distinct.size <= max_dictionary:
+        spec = DictionaryCodec.spec_for_values(values)
+        choices.append(AdvisorChoice(spec=spec, bits=spec.bits))
+    if isinstance(attr_type, FixedTextType) and np.asarray(values).size:
+        spec = TextPackCodec.spec_for_values(values)
+        choices.append(AdvisorChoice(spec=spec, bits=spec.bits))
+    if isinstance(attr_type, IntType) and np.asarray(values).size:
+        ints = np.asarray(values, dtype=np.int64)
+        if int(ints.min()) >= 0:
+            spec = BitPackCodec.spec_for_values(ints)
+            choices.append(AdvisorChoice(spec=spec, bits=spec.bits))
+        for_spec = ForCodec.spec_for_values(ints, page_capacity_hint)
+        choices.append(AdvisorChoice(spec=for_spec, bits=for_spec.bits))
+        delta_spec = ForDeltaCodec.spec_for_values(ints, page_capacity_hint)
+        choices.append(AdvisorChoice(spec=delta_spec, bits=delta_spec.bits))
+    return choices
+
+
+def choose_spec(
+    attr_type: AttributeType,
+    values: np.ndarray,
+    page_capacity_hint: int = 4096,
+    prefer_cheap_decode: bool = False,
+    max_dictionary: int = DEFAULT_MAX_DICTIONARY,
+) -> CodecSpec:
+    """Pick the narrowest applicable scheme for one column.
+
+    With ``prefer_cheap_decode`` set, FOR-delta is charged a one-bit-width
+    penalty per value so that plain FOR (or packing) wins ties and near
+    ties — the CPU-bound tradeoff of Section 4.4.
+    """
+    choices = candidate_specs(
+        attr_type, values, page_capacity_hint, max_dictionary=max_dictionary
+    )
+    if not choices:
+        raise CompressionError("no applicable compression scheme")
+
+    def cost(choice: AdvisorChoice) -> tuple:
+        bits = choice.bits
+        if prefer_cheap_decode and choice.kind is CodecKind.FOR_DELTA:
+            bits += 8
+        # Ties break toward simpler schemes (enum definition order).
+        order = list(CodecKind).index(choice.kind)
+        return (bits, order)
+
+    best = min(choices, key=cost)
+    if not best.spec.is_compressed:
+        return best.spec
+    uncompressed_bits = attr_type.width * 8
+    if best.bits >= uncompressed_bits:
+        return IdentityCodec.spec_for_type(attr_type)
+    return best.spec
+
+
+class CompressionAdvisor:
+    """Chooses a per-column compression scheme for a whole table.
+
+    Parameters mirror :func:`choose_spec`; ``advise`` maps attribute names
+    to specs given a dict of column arrays.
+    """
+
+    def __init__(
+        self,
+        page_capacity_hint: int = 4096,
+        prefer_cheap_decode: bool = False,
+        max_dictionary: int = DEFAULT_MAX_DICTIONARY,
+    ):
+        self.page_capacity_hint = page_capacity_hint
+        self.prefer_cheap_decode = prefer_cheap_decode
+        self.max_dictionary = max_dictionary
+
+    def advise(
+        self,
+        attr_types: dict[str, AttributeType],
+        columns: dict[str, np.ndarray],
+    ) -> dict[str, CodecSpec]:
+        """Return a spec per attribute name."""
+        missing = set(attr_types) - set(columns)
+        if missing:
+            raise CompressionError(f"no data for attributes: {sorted(missing)}")
+        return {
+            name: choose_spec(
+                attr_type,
+                columns[name],
+                page_capacity_hint=self.page_capacity_hint,
+                prefer_cheap_decode=self.prefer_cheap_decode,
+                max_dictionary=self.max_dictionary,
+            )
+            for name, attr_type in attr_types.items()
+        }

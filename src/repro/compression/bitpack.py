@@ -1,0 +1,90 @@
+"""Bit packing (null suppression).
+
+Stores each attribute using as many bits as are required to represent the
+maximum value in the domain (Section 2.2.1).  Values are packed LSB-first
+into a contiguous bit stream; the paper uses bit-shifting instructions for
+exactly this layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import Codec, CodecKind, CodecSpec, PageCodecState, require_int_array
+from repro.errors import CompressionError
+from repro.types.datatypes import AttributeType, IntType
+
+_MAX_BITS = 63
+
+
+def bits_needed(max_value: int) -> int:
+    """Bits required to represent non-negative values up to ``max_value``."""
+    if max_value < 0:
+        raise CompressionError(f"bit packing requires non-negative values: {max_value}")
+    return max(1, int(max_value).bit_length())
+
+
+def pack_bits(values: np.ndarray, bits: int) -> bytes:
+    """Pack non-negative integers into a LSB-first bit stream."""
+    if not 1 <= bits <= _MAX_BITS:
+        raise CompressionError(f"packed width must be in [1, {_MAX_BITS}]: {bits}")
+    values = require_int_array(values, "pack_bits")
+    if values.size == 0:
+        return b""
+    lo = int(values.min())
+    hi = int(values.max())
+    if lo < 0:
+        raise CompressionError(f"pack_bits got negative value {lo}")
+    if hi >= (1 << bits):
+        raise CompressionError(f"value {hi} does not fit in {bits} bits")
+    # (n, bits) matrix of bits, LSB first, then serialized little-endian.
+    shifts = np.arange(bits, dtype=np.uint64)
+    bit_matrix = ((values.astype(np.uint64)[:, None] >> shifts) & np.uint64(1))
+    flat = bit_matrix.astype(np.uint8).reshape(-1)
+    return np.packbits(flat, bitorder="little").tobytes()
+
+
+def unpack_bits(data: bytes, bits: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits` for ``count`` values."""
+    if not 1 <= bits <= _MAX_BITS:
+        raise CompressionError(f"packed width must be in [1, {_MAX_BITS}]: {bits}")
+    if count == 0:
+        return np.zeros(0, dtype=np.int64)
+    total_bits = count * bits
+    if len(data) * 8 < total_bits:
+        raise CompressionError(
+            f"bit stream of {len(data)} bytes too short for {count} x {bits} bits"
+        )
+    flat = np.unpackbits(
+        np.frombuffer(data, dtype=np.uint8), bitorder="little", count=total_bits
+    )
+    bit_matrix = flat.reshape(count, bits).astype(np.uint64)
+    weights = np.left_shift(np.uint64(1), np.arange(bits, dtype=np.uint64))
+    return (bit_matrix * weights).sum(axis=1).astype(np.int64)
+
+
+class BitPackCodec(Codec):
+    """Null-suppression codec for non-negative integer attributes."""
+
+    def __init__(self, spec: CodecSpec, attr_type: AttributeType):
+        if spec.kind is not CodecKind.PACK:
+            raise CompressionError(f"BitPackCodec got spec kind {spec.kind}")
+        if not isinstance(attr_type, IntType):
+            raise CompressionError("bit packing applies to integer attributes only")
+        super().__init__(spec, attr_type)
+
+    def encode_page(self, values: np.ndarray) -> tuple[bytes, PageCodecState]:
+        return pack_bits(values, self.spec.bits), PageCodecState()
+
+    def decode_page(self, payload: bytes, count: int, state: PageCodecState) -> np.ndarray:
+        return unpack_bits(payload, self.spec.bits, count)
+
+    @staticmethod
+    def spec_for_values(values: np.ndarray) -> CodecSpec:
+        """Choose the packed width from the observed domain."""
+        values = require_int_array(values, "bit packing")
+        if values.size == 0:
+            raise CompressionError("cannot size bit packing from an empty column")
+        if int(values.min()) < 0:
+            raise CompressionError("bit packing requires a non-negative domain")
+        return CodecSpec(kind=CodecKind.PACK, bits=bits_needed(int(values.max())))

@@ -1,0 +1,39 @@
+"""Identity codec: uncompressed storage through the codec interface.
+
+Keeping uncompressed columns behind the same interface lets pages,
+scanners and the cost model treat every column uniformly; the identity
+codec simply delegates to the attribute type's fixed-width serializer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import Codec, CodecKind, CodecSpec, PageCodecState
+from repro.errors import CompressionError
+from repro.types.datatypes import AttributeType
+
+
+class IdentityCodec(Codec):
+    """Stores values verbatim at the attribute type's fixed width."""
+
+    def __init__(self, spec: CodecSpec, attr_type: AttributeType):
+        if spec.kind is not CodecKind.NONE:
+            raise CompressionError(f"IdentityCodec got spec kind {spec.kind}")
+        if spec.bits != attr_type.width * 8:
+            raise CompressionError(
+                f"identity spec width {spec.bits} bits does not match "
+                f"attribute width {attr_type.width} bytes"
+            )
+        super().__init__(spec, attr_type)
+
+    def encode_page(self, values: np.ndarray) -> tuple[bytes, PageCodecState]:
+        return self.attr_type.encode_values(values), PageCodecState()
+
+    def decode_page(self, payload: bytes, count: int, state: PageCodecState) -> np.ndarray:
+        return self.attr_type.decode_values(payload, count)
+
+    @staticmethod
+    def spec_for_type(attr_type: AttributeType) -> CodecSpec:
+        """The uncompressed spec for an attribute type."""
+        return CodecSpec(kind=CodecKind.NONE, bits=attr_type.width * 8)

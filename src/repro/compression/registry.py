@@ -1,0 +1,70 @@
+"""Codec construction from catalog specs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import Codec, CodecKind, CodecSpec
+from repro.compression.bitpack import BitPackCodec
+from repro.compression.dictionary import DictionaryCodec
+from repro.compression.frame import ForCodec, ForDeltaCodec
+from repro.compression.identity import IdentityCodec
+from repro.compression.rle import RleCodec
+from repro.compression.textpack import TextPackCodec
+from repro.errors import CompressionError
+from repro.types.datatypes import AttributeType, FixedTextType
+
+_CODEC_CLASSES: dict[CodecKind, type[Codec]] = {
+    CodecKind.NONE: IdentityCodec,
+    CodecKind.PACK: BitPackCodec,
+    CodecKind.DICT: DictionaryCodec,
+    CodecKind.FOR: ForCodec,
+    CodecKind.FOR_DELTA: ForDeltaCodec,
+    CodecKind.RLE: RleCodec,
+}
+
+
+def build_codec(spec: CodecSpec, attr_type: AttributeType) -> Codec:
+    """Instantiate the runtime codec for a catalog spec.
+
+    ``PACK`` dispatches on the attribute type: bit packing for integers,
+    pad-byte suppression (:class:`TextPackCodec`) for fixed text.
+    """
+    if spec.kind is CodecKind.PACK and isinstance(attr_type, FixedTextType):
+        return TextPackCodec(spec, attr_type)
+    try:
+        codec_class = _CODEC_CLASSES[spec.kind]
+    except KeyError as exc:  # pragma: no cover - enum is closed
+        raise CompressionError(f"unknown codec kind: {spec.kind}") from exc
+    return codec_class(spec, attr_type)
+
+
+def build_codec_for_values(
+    kind: CodecKind,
+    attr_type: AttributeType,
+    values: np.ndarray,
+    page_capacity_hint: int = 4096,
+) -> Codec:
+    """Size a codec of the requested ``kind`` from the column's data.
+
+    This is the load-time path: the physical design names the scheme and
+    the loader derives its parameters (packed width, dictionary, zig-zag)
+    from the actual values.
+    """
+    if kind is CodecKind.NONE:
+        spec = IdentityCodec.spec_for_type(attr_type)
+    elif kind is CodecKind.PACK and isinstance(attr_type, FixedTextType):
+        spec = TextPackCodec.spec_for_values(values)
+    elif kind is CodecKind.PACK:
+        spec = BitPackCodec.spec_for_values(values)
+    elif kind is CodecKind.DICT:
+        spec = DictionaryCodec.spec_for_values(values)
+    elif kind is CodecKind.FOR:
+        spec = ForCodec.spec_for_values(values, page_capacity_hint)
+    elif kind is CodecKind.FOR_DELTA:
+        spec = ForDeltaCodec.spec_for_values(values, page_capacity_hint)
+    elif kind is CodecKind.RLE:
+        spec = RleCodec.spec_for_values(values)
+    else:  # pragma: no cover - enum is closed
+        raise CompressionError(f"unknown codec kind: {kind}")
+    return build_codec(spec, attr_type)

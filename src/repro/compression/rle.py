@@ -1,0 +1,168 @@
+"""Run-length encoding (the scheme the paper refrained from).
+
+Section 2.2.1: "We refrain from using techniques that are better suited
+for column data (such as run length encoding) to keep our performance
+study unbiased."  This extension implements it so the size of that bias
+can be measured: a column page stores ``(value, run_length)`` pairs,
+value and run length both bit-packed at fixed widths, values zig-zag
+encoded so any integer domain is accepted.
+
+RLE is *variable capacity*: how many logical values fit on a page
+depends on the data, so RLE columns are loaded through
+:meth:`encode_prefix` and scanned through the column file's page
+directory.  Like FOR-delta, any access decodes the whole page.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import (
+    Codec,
+    CodecKind,
+    CodecSpec,
+    PageCodecState,
+    require_int_array,
+)
+from repro.compression.bitpack import bits_needed, pack_bits, unpack_bits
+from repro.compression.frame import zigzag_decode, zigzag_encode
+from repro.errors import CompressionError
+from repro.types.datatypes import AttributeType, IntType
+
+#: Runs longer than this are split (keeps run_bits bounded).
+MAX_RUN_LENGTH = 1 << 16
+
+
+def find_runs(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``(run_values, run_lengths)`` for one array, runs capped."""
+    values = require_int_array(values, "RLE")
+    if values.size == 0:
+        return values, np.zeros(0, dtype=np.int64)
+    change = np.flatnonzero(np.diff(values)) + 1
+    starts = np.concatenate([[0], change])
+    ends = np.concatenate([change, [values.size]])
+    run_values = values[starts]
+    run_lengths = ends - starts
+    if int(run_lengths.max()) > MAX_RUN_LENGTH:
+        split_values = []
+        split_lengths = []
+        for value, length in zip(run_values.tolist(), run_lengths.tolist()):
+            while length > MAX_RUN_LENGTH:
+                split_values.append(value)
+                split_lengths.append(MAX_RUN_LENGTH)
+                length -= MAX_RUN_LENGTH
+            split_values.append(value)
+            split_lengths.append(length)
+        run_values = np.array(split_values, dtype=np.int64)
+        run_lengths = np.array(split_lengths, dtype=np.int64)
+    return run_values, run_lengths
+
+
+class RleCodec(Codec):
+    """Run-length codec for integer columns."""
+
+    def __init__(self, spec: CodecSpec, attr_type: AttributeType):
+        if spec.kind is not CodecKind.RLE:
+            raise CompressionError(f"RleCodec got spec kind {spec.kind}")
+        if not isinstance(attr_type, IntType):
+            raise CompressionError("RLE applies to integer attributes only")
+        super().__init__(spec, attr_type)
+
+    @property
+    def decodes_whole_page(self) -> bool:
+        return True
+
+    @property
+    def is_variable(self) -> bool:
+        return True
+
+    @property
+    def pair_bits(self) -> int:
+        """Packed width of one (value, run length) pair."""
+        return self.spec.bits + self.spec.run_bits
+
+    def values_per_page(self, payload_bytes: int) -> int:
+        """Upper bound: every pair could be a run of one."""
+        pairs = (payload_bytes * 8 - 32) // self.pair_bits
+        if pairs <= 0:
+            raise CompressionError(
+                f"page payload of {payload_bytes} bytes cannot hold one RLE pair"
+            )
+        return pairs
+
+    def _pack_pairs(
+        self, run_values: np.ndarray, run_lengths: np.ndarray
+    ) -> bytes:
+        encoded_values = zigzag_encode(run_values)
+        if encoded_values.size and int(encoded_values.max()) >= (1 << self.spec.bits):
+            raise CompressionError(
+                f"run value needs more than {self.spec.bits} bits"
+            )
+        value_stream = pack_bits(encoded_values, self.spec.bits)
+        length_stream = pack_bits(run_lengths - 1, self.spec.run_bits)
+        header = np.uint32(run_values.size).tobytes()
+        return header + value_stream + length_stream
+
+    def encode_page(self, values: np.ndarray) -> tuple[bytes, PageCodecState]:
+        run_values, run_lengths = find_runs(values)
+        return self._pack_pairs(run_values, run_lengths), PageCodecState()
+
+    def encode_prefix(
+        self, values: np.ndarray, payload_bytes: int
+    ) -> tuple[bytes, PageCodecState, int]:
+        """Fill one page with as many whole runs as fit."""
+        run_values, run_lengths = find_runs(values)
+        if run_values.size == 0:
+            raise CompressionError("cannot encode an empty prefix")
+        budget_bits = payload_bytes * 8 - 32  # pair-count header
+        max_pairs = budget_bits // self.pair_bits
+        if max_pairs <= 0:
+            raise CompressionError("page cannot hold a single RLE pair")
+        take = min(run_values.size, int(max_pairs))
+        consumed = int(run_lengths[:take].sum())
+        payload = self._pack_pairs(run_values[:take], run_lengths[:take])
+        return payload, PageCodecState(), consumed
+
+    def decode_page(self, payload: bytes, count: int, state: PageCodecState) -> np.ndarray:
+        if len(payload) < 4:
+            raise CompressionError("RLE payload missing its pair-count header")
+        pairs = int(np.frombuffer(payload[:4], dtype=np.uint32)[0])
+        body = payload[4:]
+        value_bytes = (pairs * self.spec.bits + 7) // 8
+        encoded_values = unpack_bits(body[:value_bytes], self.spec.bits, pairs)
+        run_values = zigzag_decode(encoded_values)
+        run_lengths = (
+            unpack_bits(body[value_bytes:], self.spec.run_bits, pairs) + 1
+        )
+        values = np.repeat(run_values, run_lengths)
+        if values.size < count:
+            raise CompressionError(
+                f"RLE page expands to {values.size} values, header says {count}"
+            )
+        return values[:count]
+
+    def effective_bits(self, values: np.ndarray) -> float:
+        values = require_int_array(values, "RLE")
+        if values.size == 0:
+            return float(self.pair_bits)
+        run_values, _lengths = find_runs(values)
+        return run_values.size * self.pair_bits / values.size
+
+    @staticmethod
+    def spec_for_values(values: np.ndarray) -> CodecSpec:
+        """Size value and run-length widths from the data."""
+        values = require_int_array(values, "RLE")
+        if values.size == 0:
+            raise CompressionError("cannot size RLE from an empty column")
+        run_values, run_lengths = find_runs(values)
+        value_bits = bits_needed(int(zigzag_encode(run_values).max()))
+        run_bits = bits_needed(int(run_lengths.max()) - 1)
+        return CodecSpec(kind=CodecKind.RLE, bits=value_bits, run_bits=run_bits)
+
+    @staticmethod
+    def effective_bits_per_value(values: np.ndarray) -> float:
+        """Average stored bits per logical value (for the advisor)."""
+        spec = RleCodec.spec_for_values(values)
+        run_values, _lengths = find_runs(values)
+        total_bits = run_values.size * (spec.bits + spec.run_bits)
+        return total_bits / len(values)

@@ -1,0 +1,73 @@
+"""The paper's CPU-time breakdown (Figure 6, right)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import fmt_seconds
+
+
+@dataclass(frozen=True)
+class CpuBreakdown:
+    """Stacked CPU-time components, in seconds.
+
+    ``sys``      — kernel time executing I/O requests.
+    ``usr_uop``  — minimum compute time (uops / 3 per cycle).
+    ``usr_l2``   — memory→L2 stalls net of overlap with computation,
+                   plus full-latency random misses.
+    ``usr_l1``   — upper bound on L2→L1 fill stalls.
+    ``usr_rest`` — everything else (branches, functional-unit stalls).
+    """
+
+    sys: float
+    usr_uop: float
+    usr_l2: float
+    usr_l1: float
+    usr_rest: float
+
+    @property
+    def user(self) -> float:
+        """Total user-mode CPU time."""
+        return self.usr_uop + self.usr_l2 + self.usr_l1 + self.usr_rest
+
+    @property
+    def total(self) -> float:
+        """Total CPU time (the dashed lines of Figure 6, left)."""
+        return self.sys + self.user
+
+    def scaled(self, factor: float) -> "CpuBreakdown":
+        """Every component multiplied by ``factor``."""
+        return CpuBreakdown(
+            sys=self.sys * factor,
+            usr_uop=self.usr_uop * factor,
+            usr_l2=self.usr_l2 * factor,
+            usr_l1=self.usr_l1 * factor,
+            usr_rest=self.usr_rest * factor,
+        )
+
+    def __add__(self, other: "CpuBreakdown") -> "CpuBreakdown":
+        return CpuBreakdown(
+            sys=self.sys + other.sys,
+            usr_uop=self.usr_uop + other.usr_uop,
+            usr_l2=self.usr_l2 + other.usr_l2,
+            usr_l1=self.usr_l1 + other.usr_l1,
+            usr_rest=self.usr_rest + other.usr_rest,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "sys": self.sys,
+            "usr-uop": self.usr_uop,
+            "usr-L2": self.usr_l2,
+            "usr-L1": self.usr_l1,
+            "usr-rest": self.usr_rest,
+        }
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"{name}={fmt_seconds(value)}" for name, value in self.as_dict().items()
+        )
+        return f"CPU {fmt_seconds(self.total)} ({parts})"
+
+
+ZERO_BREAKDOWN = CpuBreakdown(sys=0.0, usr_uop=0.0, usr_l2=0.0, usr_l1=0.0, usr_rest=0.0)

@@ -1,0 +1,95 @@
+"""Converts work events into the paper's CPU-time breakdown."""
+
+from __future__ import annotations
+
+from repro.cpusim.breakdown import CpuBreakdown
+from repro.cpusim.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.cpusim.events import CostEvents
+
+
+class CpuModel:
+    """The Section 4.1 measurement methodology, run in reverse.
+
+    The paper measures hardware counters and derives a breakdown; we
+    count the work directly and apply the same arithmetic:
+
+    * ``usr-uop`` is instructions over the 3-wide issue width;
+    * sequential memory traffic is *bandwidth* time (1 byte/cycle) that
+      overlaps with computation — only the excess shows as ``usr-L2`` —
+      while each random line stalls the full 380 cycles;
+    * ``usr-L1`` is the upper-bound fill time for every line that moved
+      into L1;
+    * ``sys`` charges per byte read, per I/O request, and per stream
+      switch.
+    """
+
+    def __init__(self, calibration: Calibration = DEFAULT_CALIBRATION):
+        self.calibration = calibration
+
+    # --- instruction counting ---------------------------------------------
+
+    def user_instructions(self, events: CostEvents) -> float:
+        """Total user-mode instructions implied by the event counts."""
+        c = self.calibration
+        inst = 0.0
+        inst += events.tuples_examined * c.inst_tuple_iter_row
+        inst += events.values_examined * c.inst_value_iter_col
+        inst += events.predicate_evals * c.inst_predicate
+        inst += events.predicate_eval_bytes * c.inst_predicate_byte
+        inst += events.positions_processed * c.inst_position
+        inst += events.values_copied * c.inst_copy_value
+        inst += events.bytes_copied * c.inst_copy_byte
+        inst += events.pages_touched * c.inst_page_overhead
+        inst += events.blocks_produced * c.inst_block_overhead
+        inst += events.agg_updates * c.inst_agg_update
+        inst += events.group_lookups * c.inst_group_lookup
+        inst += events.join_comparisons * c.inst_join_comparison
+        inst += events.sort_comparisons * c.inst_sort_comparison
+        for kind, count in events.values_decoded.items():
+            inst += count * c.decode_cost(kind)
+        return inst
+
+    # --- time components ----------------------------------------------------
+
+    def sys_seconds(self, events: CostEvents) -> float:
+        """Kernel-mode time for the I/O work performed."""
+        c = self.calibration
+        cycles = (
+            events.bytes_read * c.sys_cycles_per_byte
+            + events.io_requests * c.sys_cycles_per_request
+            + events.stream_switches * c.sys_cycles_per_stream_switch
+        )
+        return cycles / c.aggregate_clock_hz
+
+    def breakdown(self, events: CostEvents) -> CpuBreakdown:
+        """Full CPU-time breakdown for one query's events."""
+        c = self.calibration
+        clock = c.aggregate_clock_hz
+        instructions = self.user_instructions(events)
+        usr_uop = instructions / c.uops_per_cycle / clock
+        compute = instructions * c.cycles_per_instruction / clock
+        usr_rest = max(0.0, compute - usr_uop)
+
+        seq_mem = events.mem_seq_lines * c.seq_line_cycles / clock
+        rand_mem = events.mem_rand_lines * c.random_miss_cycles / clock
+        # Sequential prefetch overlaps with computation; only the excess
+        # is a visible stall.  Random misses never overlap.
+        usr_l2 = max(0.0, seq_mem - compute) + rand_mem
+
+        usr_l1 = events.l1_lines * c.l1_fill_cycles / clock
+
+        return CpuBreakdown(
+            sys=self.sys_seconds(events),
+            usr_uop=usr_uop,
+            usr_l2=usr_l2,
+            usr_l1=usr_l1,
+            usr_rest=usr_rest,
+        )
+
+    def user_seconds(self, events: CostEvents) -> float:
+        """Total user-mode CPU time."""
+        return self.breakdown(events).user
+
+    def cpu_seconds(self, events: CostEvents) -> float:
+        """Total CPU time (sys + user)."""
+        return self.breakdown(events).total

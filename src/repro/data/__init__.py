@@ -1,0 +1,31 @@
+"""Deterministic TPC-H-like data generation (the dbgen substitute).
+
+The paper populates its two tables with the official TPC-H toolkit; this
+package generates synthetic data with the same per-column domains and
+cardinalities, so the Figure 5 compressed widths — and therefore every
+bandwidth-related result — are reproduced.  Generation is fully
+deterministic given a seed.
+"""
+
+from repro.data.generator import GeneratedTable
+from repro.data.synthetic import synthetic_table, tuple_width_table
+from repro.data.tpch import (
+    apply_fig5_compression,
+    generate_lineitem,
+    generate_orders,
+    generate_tpch_pair,
+    lineitem_schema,
+    orders_schema,
+)
+
+__all__ = [
+    "GeneratedTable",
+    "synthetic_table",
+    "tuple_width_table",
+    "lineitem_schema",
+    "orders_schema",
+    "generate_lineitem",
+    "generate_orders",
+    "generate_tpch_pair",
+    "apply_fig5_compression",
+]

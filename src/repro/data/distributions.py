@@ -1,0 +1,112 @@
+"""Value domains and deterministic sampling helpers for the generator.
+
+Domains mirror the TPC-H specification closely enough that the distinct
+counts (and hence Figure 5's dictionary widths) match: three return
+flags, two line statuses, four ship instructions, seven ship modes, five
+order priorities, three order statuses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# --- TPC-H categorical domains ------------------------------------------
+
+RETURN_FLAGS = (b"R", b"A", b"N")
+LINE_STATUSES = (b"O", b"F")
+SHIP_INSTRUCTIONS = (
+    b"DELIVER IN PERSON",
+    b"COLLECT COD",
+    b"NONE",
+    b"TAKE BACK RETURN",
+)
+SHIP_MODES = (b"REG AIR", b"AIR", b"RAIL", b"SHIP", b"TRUCK", b"MAIL", b"FOB")
+ORDER_STATUSES = (b"F", b"O", b"P")
+ORDER_PRIORITIES = (
+    b"1-URGENT",
+    b"2-HIGH",
+    b"3-MEDIUM",
+    b"4-NOT SPECI",  # truncated to the paper's 11-byte field
+    b"5-LOW",
+)
+
+#: Word list for synthetic comments (TPC-H grammar nouns/verbs).
+COMMENT_WORDS = (
+    "foxes", "deposits", "requests", "accounts", "pinto", "beans",
+    "packages", "ideas", "theodolites", "dependencies", "instructions",
+    "platelets", "sleep", "wake", "haggle", "nag", "cajole", "detect",
+    "final", "bold", "quick", "silent", "ironic", "regular", "express",
+)
+
+#: Dates are stored as integer day counts since 1900-01-01, so the
+#: TPC-H range 1992-01-01 .. 1998-12-31 needs 16 bits — matching
+#: Figure 5's "pack, 2 bytes" for the LINEITEM dates.
+DAYS_1900_TO_1992 = 33603
+DAYS_1900_TO_1998_END = 36159
+
+#: ORDERS dates are instead stored as days since 1970-01-01 (8035 ..
+#: ~10592), which packs to 14 bits — Figure 5's O_ORDERDATE width.
+DAYS_1970_TO_1992 = 8035
+DAYS_1970_TO_1998_END = 10591
+
+
+def sample_categorical(
+    rng: np.random.Generator,
+    domain: tuple[bytes, ...],
+    size: int,
+    width: int,
+) -> np.ndarray:
+    """Uniformly sample a categorical column as fixed-width bytes."""
+    values = np.array(domain, dtype=f"S{width}")
+    codes = rng.integers(0, len(domain), size=size)
+    return values[codes]
+
+
+def sample_order_dates(rng: np.random.Generator, size: int) -> np.ndarray:
+    """Order dates as days since 1970 (14-bit domain)."""
+    # Orders may not be placed in the last ~121 days of the range
+    # (TPC-H leaves room for shipping).
+    return rng.integers(DAYS_1970_TO_1992, DAYS_1970_TO_1998_END - 151, size=size)
+
+
+def order_date_for_keys(order_keys: np.ndarray) -> np.ndarray:
+    """Deterministic order date per order key (days since 1970).
+
+    Both LINEITEM and ORDERS derive the date of an order from its key
+    through this hash, so ship/commit/receipt dates stay consistent with
+    the parent order no matter which table is generated first.
+    """
+    keys = np.asarray(order_keys, dtype=np.uint64)
+    mixed = keys * np.uint64(0x9E3779B97F4A7C15)
+    mixed ^= mixed >> np.uint64(29)
+    mixed *= np.uint64(0xBF58476D1CE4E5B9)
+    mixed ^= mixed >> np.uint64(32)
+    span = np.uint64(DAYS_1970_TO_1998_END - 151 - DAYS_1970_TO_1992)
+    return (mixed % span).astype(np.int64) + DAYS_1970_TO_1992
+
+
+def sample_comments(
+    rng: np.random.Generator,
+    size: int,
+    max_length: int,
+    field_width: int,
+) -> np.ndarray:
+    """Short word-salad comments, at most ``max_length`` bytes.
+
+    The longest generated value is forced to exactly ``max_length`` so
+    that pack-width selection is deterministic (Figure 5: 28 bytes).
+    """
+    if max_length > field_width:
+        raise ValueError(
+            f"max comment length {max_length} exceeds field width {field_width}"
+        )
+    words = list(COMMENT_WORDS)
+    out = np.empty(size, dtype=f"S{field_width}")
+    word_picks = rng.integers(0, len(words), size=(size, 4))
+    for i in range(size):
+        text = " ".join(words[j] for j in word_picks[i])
+        out[i] = text[:max_length].encode("ascii")
+    if size > 0:
+        filler = ("x" * max_length).encode("ascii")
+        out[0] = filler
+    return out

@@ -1,0 +1,63 @@
+"""Generated-table container shared by the generators and the loader."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.types.schema import TableSchema
+
+
+@dataclass
+class GeneratedTable:
+    """A schema plus one in-memory numpy column per attribute.
+
+    This is the hand-off format between the data generator and the bulk
+    loader; columns are validated against the schema on construction.
+    """
+
+    schema: TableSchema
+    columns: dict[str, np.ndarray]
+
+    def __post_init__(self) -> None:
+        expected = set(self.schema.attribute_names)
+        got = set(self.columns)
+        if expected != got:
+            raise SchemaError(
+                f"columns {sorted(got)} do not match schema attributes "
+                f"{sorted(expected)}"
+            )
+        lengths = {name: len(col) for name, col in self.columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise SchemaError(f"ragged columns: {lengths}")
+        for attr in self.schema:
+            column = np.asarray(self.columns[attr.name])
+            attr.attr_type.validate(column)
+            self.columns[attr.name] = column.astype(
+                attr.attr_type.numpy_dtype(), copy=False
+            )
+
+    @property
+    def num_rows(self) -> int:
+        first = next(iter(self.columns.values()))
+        return len(first)
+
+    def column(self, name: str) -> np.ndarray:
+        """The column array for one attribute."""
+        if name not in self.columns:
+            raise SchemaError(f"no column {name!r} in {self.schema.name!r}")
+        return self.columns[name]
+
+    def row(self, index: int) -> tuple:
+        """One logical tuple, in schema order (testing convenience)."""
+        return tuple(self.columns[name][index] for name in self.schema.attribute_names)
+
+    def head(self, count: int = 5) -> list[tuple]:
+        """The first ``count`` tuples (testing convenience)."""
+        return [self.row(i) for i in range(min(count, self.num_rows))]
+
+    def with_schema(self, schema: TableSchema) -> "GeneratedTable":
+        """Rebind the same columns to a different (e.g. compressed) schema."""
+        return GeneratedTable(schema=schema, columns=dict(self.columns))

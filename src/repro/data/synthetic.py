@@ -1,0 +1,84 @@
+"""Synthetic tables with configurable shapes.
+
+The TPC-H substitute (:mod:`repro.data.tpch`) fixes the paper's two
+schemas; this module generates arbitrary ones, useful for exploring the
+tradeoff space beyond LINEITEM/ORDERS — e.g. the lean-tuple corner of
+Figure 2 — and for randomized testing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.generator import GeneratedTable
+from repro.errors import SchemaError
+from repro.types.datatypes import FixedTextType, IntType
+from repro.types.schema import Attribute, TableSchema
+
+
+def synthetic_table(
+    name: str,
+    num_rows: int,
+    int_attrs: int = 4,
+    text_attrs: int = 0,
+    text_width: int = 10,
+    distinct_values: int | None = None,
+    sorted_first: bool = False,
+    seed: int = 1,
+) -> GeneratedTable:
+    """Generate a table with the requested shape.
+
+    ``distinct_values`` caps the integer domains (low values make the
+    dictionary/RLE codecs interesting); ``sorted_first`` sorts the first
+    attribute ascending so the frame-of-reference schemes apply.
+    """
+    if num_rows <= 0:
+        raise SchemaError(f"num_rows must be positive: {num_rows}")
+    if int_attrs + text_attrs < 1:
+        raise SchemaError("a table needs at least one attribute")
+    rng = np.random.default_rng(np.random.PCG64(seed))
+    attributes: list[Attribute] = []
+    columns: dict[str, np.ndarray] = {}
+    domain = distinct_values if distinct_values is not None else 2**30
+    for index in range(int_attrs):
+        attr_name = f"i{index}"
+        attributes.append(Attribute(attr_name, IntType()))
+        values = rng.integers(0, domain, size=num_rows)
+        if index == 0 and sorted_first:
+            values = np.sort(values)
+        columns[attr_name] = values
+    pool_size = min(domain, 64)
+    pool = np.array(
+        [f"v{j:04d}"[:text_width].encode() for j in range(pool_size)],
+        dtype=f"S{text_width}",
+    )
+    for index in range(text_attrs):
+        attr_name = f"t{index}"
+        attributes.append(Attribute(attr_name, FixedTextType(text_width)))
+        columns[attr_name] = pool[rng.integers(0, pool_size, size=num_rows)]
+    schema = TableSchema(name=name, attributes=tuple(attributes))
+    return GeneratedTable(schema=schema, columns=columns)
+
+
+def tuple_width_table(
+    width_bytes: int,
+    num_rows: int,
+    name: str = "SYN",
+    seed: int = 1,
+) -> GeneratedTable:
+    """A table of exactly ``width_bytes`` per tuple (4-byte int columns).
+
+    The knob the Figure 2 axis sweeps; width must be a positive multiple
+    of four.
+    """
+    if width_bytes <= 0 or width_bytes % 4 != 0:
+        raise SchemaError(
+            f"tuple width must be a positive multiple of 4: {width_bytes}"
+        )
+    return synthetic_table(
+        name=name,
+        num_rows=num_rows,
+        int_attrs=width_bytes // 4,
+        text_attrs=0,
+        seed=seed,
+    )

@@ -1,0 +1,296 @@
+"""The paper's two tables: LINEITEM (150 B) and ORDERS (32 B).
+
+Schemas follow Figure 5 exactly, including the paper's modifications to
+the TPC-H spec: all decimals stored as four-byte integers, ``L_COMMENT``
+as fixed 69-byte text (bringing LINEITEM to 150 bytes), and ORDERS
+stripped of two text fields (32 bytes).  The compressed variants
+LINEITEM-Z and ORDERS-Z pin the per-attribute schemes of Figure 5's
+right-hand column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CodecKind, CodecSpec
+from repro.compression.dictionary import DictionaryCodec
+from repro.compression.frame import ForCodec, ForDeltaCodec
+from repro.data import distributions as dist
+from repro.data.generator import GeneratedTable
+from repro.errors import SchemaError
+from repro.types.datatypes import FixedTextType, IntType
+from repro.types.schema import Attribute, TableSchema
+
+#: Epoch shift between ORDERS dates (days since 1970) and LINEITEM dates
+#: (days since 1900); see :mod:`repro.data.distributions`.
+_EPOCH_SHIFT = dist.DAYS_1900_TO_1992 - dist.DAYS_1970_TO_1992
+
+
+def lineitem_schema() -> TableSchema:
+    """The 16-attribute, 150-byte LINEITEM table of Figure 5 (left)."""
+    integer = IntType()
+    return TableSchema(
+        name="LINEITEM",
+        attributes=(
+            Attribute("L_PARTKEY", integer),
+            Attribute("L_ORDERKEY", integer),
+            Attribute("L_SUPPKEY", integer),
+            Attribute("L_LINENUMBER", integer),
+            Attribute("L_QUANTITY", integer),
+            Attribute("L_EXTENDEDPRICE", integer),
+            Attribute("L_RETURNFLAG", FixedTextType(1)),
+            Attribute("L_LINESTATUS", FixedTextType(1)),
+            Attribute("L_SHIPINSTRUCT", FixedTextType(25)),
+            Attribute("L_SHIPMODE", FixedTextType(10)),
+            Attribute("L_COMMENT", FixedTextType(69)),
+            Attribute("L_DISCOUNT", integer),
+            Attribute("L_TAX", integer),
+            Attribute("L_SHIPDATE", integer),
+            Attribute("L_COMMITDATE", integer),
+            Attribute("L_RECEIPTDATE", integer),
+        ),
+    )
+
+
+def orders_schema() -> TableSchema:
+    """The 7-attribute, 32-byte ORDERS table of Figure 5 (left)."""
+    integer = IntType()
+    return TableSchema(
+        name="ORDERS",
+        attributes=(
+            Attribute("O_ORDERDATE", integer),
+            Attribute("O_ORDERKEY", integer),
+            Attribute("O_CUSTKEY", integer),
+            Attribute("O_ORDERSTATUS", FixedTextType(1)),
+            Attribute("O_ORDERPRIORITY", FixedTextType(11)),
+            Attribute("O_TOTALPRICE", integer),
+            Attribute("O_SHIPPRIORITY", integer),
+        ),
+    )
+
+
+# --- Figure 5 compressed variants ----------------------------------------
+
+#: Scheme per attribute for LINEITEM-Z (Figure 5, right).  ``None``
+#: leaves the attribute uncompressed; an ``(kind, bits)`` pair pins the
+#: packed width; a bare kind lets the loader size the codec from data.
+FIG5_LINEITEM_SCHEMES: dict[str, object] = {
+    "L_PARTKEY": None,
+    "L_ORDERKEY": (CodecKind.FOR_DELTA, 8),
+    "L_SUPPKEY": None,
+    "L_LINENUMBER": (CodecKind.PACK, 3),
+    "L_QUANTITY": (CodecKind.PACK, 6),
+    "L_EXTENDEDPRICE": None,
+    "L_RETURNFLAG": (CodecKind.DICT, 2),
+    "L_LINESTATUS": None,
+    "L_SHIPINSTRUCT": (CodecKind.DICT, 2),
+    "L_SHIPMODE": (CodecKind.DICT, 3),
+    "L_COMMENT": (CodecKind.PACK, 28 * 8),
+    "L_DISCOUNT": (CodecKind.DICT, 4),
+    "L_TAX": (CodecKind.DICT, 4),
+    "L_SHIPDATE": (CodecKind.PACK, 16),
+    "L_COMMITDATE": (CodecKind.PACK, 16),
+    "L_RECEIPTDATE": (CodecKind.PACK, 16),
+}
+
+#: Scheme per attribute for ORDERS-Z (Figure 5, right).
+FIG5_ORDERS_SCHEMES: dict[str, object] = {
+    "O_ORDERDATE": (CodecKind.PACK, 14),
+    "O_ORDERKEY": (CodecKind.FOR_DELTA, 8),
+    "O_CUSTKEY": None,
+    "O_ORDERSTATUS": (CodecKind.DICT, 2),
+    "O_ORDERPRIORITY": (CodecKind.DICT, 3),
+    "O_TOTALPRICE": None,
+    "O_SHIPPRIORITY": (CodecKind.PACK, 1),
+}
+
+
+def _build_spec(
+    scheme: object,
+    attr_type,
+    values: np.ndarray,
+    page_capacity_hint: int,
+) -> CodecSpec | None:
+    """Materialize one Figure 5 scheme entry into a codec spec."""
+    if scheme is None:
+        return None
+    if isinstance(scheme, CodecKind):
+        kind, bits = scheme, None
+    else:
+        kind, bits = scheme  # type: ignore[misc]
+    if kind is CodecKind.DICT:
+        spec = DictionaryCodec.spec_for_values(values)
+        if bits is not None and spec.bits > bits:
+            raise SchemaError(
+                f"data needs {spec.bits}-bit dictionary codes, "
+                f"Figure 5 allows {bits}"
+            )
+        return spec
+    if kind is CodecKind.FOR:
+        spec = ForCodec.spec_for_values(values, page_capacity_hint)
+    elif kind is CodecKind.FOR_DELTA:
+        spec = ForDeltaCodec.spec_for_values(values, page_capacity_hint)
+    elif kind is CodecKind.PACK:
+        if bits is None:
+            raise SchemaError("PACK scheme entries must pin a width")
+        return CodecSpec(kind=kind, bits=bits)
+    else:
+        raise SchemaError(f"unsupported scheme kind: {kind}")
+    if bits is not None:
+        if spec.bits > bits:
+            raise SchemaError(
+                f"data needs {spec.bits}-bit deltas, Figure 5 allows {bits}"
+            )
+        spec = CodecSpec(kind=spec.kind, bits=bits, zigzag=spec.zigzag)
+    return spec
+
+
+def apply_fig5_compression(
+    table: GeneratedTable, page_capacity_hint: int = 4096
+) -> GeneratedTable:
+    """Return the table bound to its Figure 5 compressed schema (…-Z)."""
+    schema = table.schema
+    if schema.name.startswith("LINEITEM"):
+        schemes = FIG5_LINEITEM_SCHEMES
+        new_name = "LINEITEM-Z"
+    elif schema.name.startswith("ORDERS"):
+        schemes = FIG5_ORDERS_SCHEMES
+        new_name = "ORDERS-Z"
+    else:
+        raise SchemaError(f"no Figure 5 schemes for table {schema.name!r}")
+    new_attrs = []
+    for attr in schema:
+        spec = _build_spec(
+            schemes[attr.name],
+            attr.attr_type,
+            table.columns[attr.name],
+            page_capacity_hint,
+        )
+        new_attrs.append(
+            Attribute(attr.name, attr.attr_type, codec_spec=spec)
+        )
+    compressed = TableSchema(name=new_name, attributes=tuple(new_attrs))
+    return table.with_schema(compressed)
+
+
+# --- Row generation --------------------------------------------------------
+
+
+def _order_keys(rng: np.random.Generator, num_orders: int) -> np.ndarray:
+    """Sorted, sparse order keys with small consecutive steps.
+
+    TPC-H order keys are sparse; steps of 1-4 keep the FOR-delta width
+    within Figure 5's 8 bits.
+    """
+    steps = rng.integers(1, 5, size=num_orders)
+    return np.cumsum(steps)
+
+
+def generate_orders(num_rows: int, seed: int = 1) -> GeneratedTable:
+    """Generate an ORDERS table (sorted by O_ORDERKEY)."""
+    if num_rows <= 0:
+        raise SchemaError(f"num_rows must be positive: {num_rows}")
+    rng = np.random.default_rng(np.random.PCG64(seed))
+    keys = _order_keys(rng, num_rows)
+    columns = {
+        "O_ORDERDATE": dist.order_date_for_keys(keys),
+        "O_ORDERKEY": keys,
+        "O_CUSTKEY": rng.integers(1, 150_000, size=num_rows),
+        "O_ORDERSTATUS": dist.sample_categorical(
+            rng, dist.ORDER_STATUSES, num_rows, width=1
+        ),
+        "O_ORDERPRIORITY": dist.sample_categorical(
+            rng, dist.ORDER_PRIORITIES, num_rows, width=11
+        ),
+        "O_TOTALPRICE": rng.integers(90_000, 40_000_000, size=num_rows),
+        "O_SHIPPRIORITY": np.zeros(num_rows, dtype=np.int64),
+    }
+    return GeneratedTable(schema=orders_schema(), columns=columns)
+
+
+def generate_lineitem(
+    num_rows: int | None, seed: int = 1, order_keys: np.ndarray | None = None
+) -> GeneratedTable:
+    """Generate a LINEITEM table (sorted by L_ORDERKEY, then line number).
+
+    When ``order_keys`` is given (from a generated ORDERS table), line
+    items reference those orders so the two tables merge-join correctly;
+    otherwise a fresh key sequence is generated.  ``num_rows=None``
+    takes every line item the 1-7-per-order draw produces (only valid
+    with ``order_keys``).
+    """
+    if num_rows is not None and num_rows <= 0:
+        raise SchemaError(f"num_rows must be positive: {num_rows}")
+    rng = np.random.default_rng(np.random.PCG64(seed + 7))
+    if order_keys is None:
+        if num_rows is None:
+            raise SchemaError("num_rows=None requires explicit order_keys")
+        # TPC-H: on average four line items per order; generate enough
+        # orders that the 1-7 line-count draw cannot undershoot.
+        order_keys = _order_keys(rng, max(1, num_rows // 2 + 8))
+    order_keys = np.asarray(order_keys, dtype=np.int64)
+
+    # Each order gets 1-7 line items; take the first num_rows of them.
+    per_order = rng.integers(1, 8, size=order_keys.size)
+    all_line_keys = np.repeat(order_keys, per_order)
+    if num_rows is None:
+        num_rows = int(all_line_keys.size)
+    line_orderkeys = all_line_keys[:num_rows]
+    if line_orderkeys.size < num_rows:
+        raise SchemaError(
+            f"only {line_orderkeys.size} line items possible from "
+            f"{order_keys.size} orders, need {num_rows}"
+        )
+    # Line numbers restart at 1 for every order.
+    starts = np.flatnonzero(np.diff(line_orderkeys, prepend=-1))
+    counts = np.arange(num_rows) - np.repeat(starts, np.diff(np.append(starts, num_rows)))
+    line_numbers = counts + 1
+
+    order_dates = dist.order_date_for_keys(line_orderkeys) + _EPOCH_SHIFT
+    quantity = rng.integers(1, 51, size=num_rows)
+    part_price = rng.integers(90_000, 200_001, size=num_rows)
+    ship_dates = order_dates + rng.integers(1, 122, size=num_rows)
+    columns = {
+        "L_PARTKEY": rng.integers(1, 2_000_000, size=num_rows),
+        "L_ORDERKEY": line_orderkeys,
+        "L_SUPPKEY": rng.integers(1, 100_000, size=num_rows),
+        "L_LINENUMBER": line_numbers,
+        "L_QUANTITY": quantity,
+        "L_EXTENDEDPRICE": quantity * part_price,
+        "L_RETURNFLAG": dist.sample_categorical(
+            rng, dist.RETURN_FLAGS, num_rows, width=1
+        ),
+        "L_LINESTATUS": dist.sample_categorical(
+            rng, dist.LINE_STATUSES, num_rows, width=1
+        ),
+        "L_SHIPINSTRUCT": dist.sample_categorical(
+            rng, dist.SHIP_INSTRUCTIONS, num_rows, width=25
+        ),
+        "L_SHIPMODE": dist.sample_categorical(
+            rng, dist.SHIP_MODES, num_rows, width=10
+        ),
+        "L_COMMENT": dist.sample_comments(
+            rng, num_rows, max_length=28, field_width=69
+        ),
+        "L_DISCOUNT": rng.integers(0, 11, size=num_rows),
+        "L_TAX": rng.integers(0, 9, size=num_rows),
+        "L_SHIPDATE": ship_dates,
+        "L_COMMITDATE": order_dates + rng.integers(30, 91, size=num_rows),
+        "L_RECEIPTDATE": ship_dates + rng.integers(1, 31, size=num_rows),
+    }
+    return GeneratedTable(schema=lineitem_schema(), columns=columns)
+
+
+def generate_tpch_pair(
+    num_orders: int, seed: int = 1
+) -> tuple[GeneratedTable, GeneratedTable]:
+    """Generate a consistent (ORDERS, LINEITEM) pair for join queries.
+
+    Every order receives its natural 1-7 line items (about four per
+    order on average, the TPC-H ratio).
+    """
+    orders = generate_orders(num_orders, seed=seed)
+    lineitem = generate_lineitem(
+        None, seed=seed, order_keys=orders.column("O_ORDERKEY")
+    )
+    return orders, lineitem

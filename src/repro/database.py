@@ -1,0 +1,178 @@
+"""A small facade tying the subsystems together.
+
+:class:`Database` is the entry point a downstream user wants: register
+generated data once, get both physical layouts (plus optional
+compression and materialized views), run queries without touching the
+plan builders, and ask the analytical model which layout a workload
+should use.
+
+    >>> from repro import Database, generate_orders
+    >>> db = Database()
+    >>> db.create_table(generate_orders(10_000, seed=1))
+    >>> result = db.query("ORDERS", select=("O_ORDERDATE", "O_TOTALPRICE"))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.advisor import CompressionAdvisor
+from repro.data.generator import GeneratedTable
+from repro.design.materialize import MaterializedView, ViewRouter, materialize_view
+from repro.engine.context import ExecutionContext
+from repro.engine.executor import QueryResult, run_scan
+from repro.engine.predicate import Predicate, predicate_for_selectivity
+from repro.engine.query import ScanQuery
+from repro.errors import PlanError, StorageError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ScanMeasurement, measure_scan
+from repro.storage.layout import Layout
+from repro.storage.loader import load_table
+from repro.storage.table import Table
+
+
+@dataclass
+class _TableEntry:
+    data: GeneratedTable
+    tables: dict[Layout, Table]
+    router: ViewRouter
+
+
+class Database:
+    """Registered tables in every layout, with query routing on top."""
+
+    def __init__(
+        self,
+        layouts: tuple[Layout, ...] = (Layout.ROW, Layout.COLUMN),
+        page_size: int = 4096,
+    ):
+        if not layouts:
+            raise StorageError("a database needs at least one layout")
+        self.layouts = tuple(layouts)
+        self.page_size = page_size
+        self._tables: dict[str, _TableEntry] = {}
+
+    # --- DDL -------------------------------------------------------------
+
+    def create_table(
+        self, data: GeneratedTable, compress: bool = False
+    ) -> None:
+        """Register one generated table, materialized in every layout."""
+        name = data.schema.name
+        if name in self._tables:
+            raise StorageError(f"table {name!r} already exists")
+        if compress:
+            advisor = CompressionAdvisor()
+            attr_types = {a.name: a.attr_type for a in data.schema}
+            specs = advisor.advise(attr_types, data.columns)
+            data = data.with_schema(data.schema.with_codecs(specs))
+        tables = {
+            layout: load_table(data, layout, page_size=self.page_size)
+            for layout in self.layouts
+        }
+        router = ViewRouter(tables[self.layouts[0]])
+        self._tables[name] = _TableEntry(data=data, tables=tables, router=router)
+
+    def create_view(
+        self,
+        table: str,
+        attributes: tuple[str, ...],
+        name: str | None = None,
+        sort_key: str | None = None,
+        compress: bool = True,
+        use_rle: bool = False,
+    ) -> MaterializedView:
+        """Materialize a vertical partition and register it for routing."""
+        entry = self._entry(table)
+        view = materialize_view(
+            entry.data,
+            attributes,
+            name=name,
+            sort_key=sort_key,
+            layout=(
+                Layout.COLUMN if Layout.COLUMN in self.layouts else self.layouts[0]
+            ),
+            compress=compress,
+            use_rle=use_rle,
+            page_size=self.page_size,
+        )
+        entry.router.add_view(view)
+        return view
+
+    # --- catalog -----------------------------------------------------------
+
+    def table(self, name: str, layout: Layout | None = None) -> Table:
+        """One materialized table (default: the first configured layout)."""
+        entry = self._entry(name)
+        layout = layout or self.layouts[0]
+        if layout not in entry.tables:
+            raise StorageError(f"table {name!r} not loaded as {layout}")
+        return entry.tables[layout]
+
+    def tables(self) -> list[str]:
+        return sorted(self._tables)
+
+    def _entry(self, name: str) -> _TableEntry:
+        if name not in self._tables:
+            raise StorageError(f"no table {name!r}; have {self.tables()}")
+        return self._tables[name]
+
+    # --- queries ------------------------------------------------------------
+
+    def query(
+        self,
+        table: str,
+        select: tuple[str, ...],
+        predicates: tuple[Predicate, ...] = (),
+        layout: Layout | None = None,
+        use_views: bool = True,
+        context: ExecutionContext | None = None,
+    ) -> QueryResult:
+        """Execute a scan, optionally routed to a covering view."""
+        entry = self._entry(table)
+        scan = ScanQuery(table, select=select, predicates=predicates)
+        target: Table
+        if layout is not None:
+            target = self.table(table, layout)
+        elif use_views:
+            target, _source = entry.router.route(scan)
+        else:
+            target = entry.tables[self.layouts[0]]
+        return run_scan(target, scan, context)
+
+    def predicate(self, table: str, attr: str, selectivity: float) -> Predicate:
+        """A selectivity-calibrated predicate over registered data."""
+        entry = self._entry(table)
+        return predicate_for_selectivity(
+            attr, entry.data.column(attr), selectivity
+        )
+
+    # --- what-if -------------------------------------------------------------
+
+    def estimate(
+        self,
+        table: str,
+        select: tuple[str, ...],
+        predicates: tuple[Predicate, ...] = (),
+        layout: Layout = Layout.COLUMN,
+        config: ExperimentConfig | None = None,
+    ) -> ScanMeasurement:
+        """Paper-scale performance estimate for one scan."""
+        if layout not in self.layouts:
+            raise PlanError(f"layout {layout} not materialized")
+        scan = ScanQuery(table, select=select, predicates=predicates)
+        return measure_scan(self.table(table, layout), scan, config)
+
+    def compare_layouts(
+        self,
+        table: str,
+        select: tuple[str, ...],
+        predicates: tuple[Predicate, ...] = (),
+        config: ExperimentConfig | None = None,
+    ) -> dict[Layout, ScanMeasurement]:
+        """Estimate the same scan under every materialized layout."""
+        scan = ScanQuery(table, select=select, predicates=predicates)
+        return {
+            layout: measure_scan(self.table(table, layout), scan, config)
+            for layout in self.layouts
+        }

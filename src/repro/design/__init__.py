@@ -1,0 +1,15 @@
+"""Physical-design advisors (the Figure 1 advisor boxes)."""
+
+from repro.design.materialize import MaterializedView, ViewRouter, materialize_view
+from repro.design.mv_advisor import MaterializedViewAdvisor, ViewCandidate
+from repro.design.physical import LayoutAdvisor, LayoutRecommendation
+
+__all__ = [
+    "MaterializedViewAdvisor",
+    "ViewCandidate",
+    "LayoutAdvisor",
+    "LayoutRecommendation",
+    "MaterializedView",
+    "materialize_view",
+    "ViewRouter",
+]

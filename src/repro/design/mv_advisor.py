@@ -1,0 +1,109 @@
+"""Materialized-view (vertical-partitioning) advisor.
+
+The Figure 1 architecture includes an *MV advisor* that chooses
+appropriate vertical partitioning from the workload.  This
+implementation uses the classic attribute-affinity approach ([9] in
+the paper): attributes that co-occur in queries are grouped into
+projection candidates, each scored by the disk bytes it saves versus
+scanning the base table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.query import ScanQuery
+from repro.errors import PlanError
+from repro.types.schema import TableSchema
+
+
+@dataclass(frozen=True)
+class ViewCandidate:
+    """One proposed vertical partition (projection) of a table."""
+
+    table: str
+    attributes: tuple[str, ...]
+    #: Fraction of the workload's scans this view can answer.
+    coverage: float
+    #: Bytes per tuple the view stores vs. the full tuple.
+    view_width: int
+    base_width: int
+
+    @property
+    def bytes_saved_fraction(self) -> float:
+        """Per-tuple I/O saving when the view answers a query."""
+        if self.base_width == 0:
+            return 0.0
+        return 1.0 - self.view_width / self.base_width
+
+
+class MaterializedViewAdvisor:
+    """Proposes vertical partitions from a scan workload."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+
+    def _query_attrs(self, query: ScanQuery) -> frozenset[str]:
+        if query.table != self.schema.name:
+            raise PlanError(
+                f"query targets {query.table!r}, advisor is for "
+                f"{self.schema.name!r}"
+            )
+        return frozenset(query.scan_attributes())
+
+    def affinity(self, workload: list[ScanQuery]) -> dict[tuple[str, str], int]:
+        """Pairwise co-occurrence counts of attributes across the workload."""
+        counts: dict[tuple[str, str], int] = {}
+        for query in workload:
+            attrs = sorted(self._query_attrs(query))
+            for i, a in enumerate(attrs):
+                for b in attrs[i + 1 :]:
+                    counts[(a, b)] = counts.get((a, b), 0) + 1
+        return counts
+
+    def advise(
+        self,
+        workload: list[ScanQuery],
+        max_views: int = 3,
+    ) -> list[ViewCandidate]:
+        """Rank attribute groups by coverage × bytes saved.
+
+        Candidate groups are the distinct attribute sets of the
+        workload's queries plus their unions when one subsumes another;
+        each is scored by (queries it covers) × (fraction of tuple
+        bytes it avoids reading).
+        """
+        if not workload:
+            return []
+        attr_sets = [self._query_attrs(q) for q in workload]
+        candidates: set[frozenset[str]] = set(attr_sets)
+        for first in attr_sets:
+            for second in attr_sets:
+                union = first | second
+                if union != first and union != second:
+                    candidates.add(union)
+
+        base_width = self.schema.tuple_width
+        scored: list[tuple[float, ViewCandidate]] = []
+        for candidate in candidates:
+            covered = sum(1 for s in attr_sets if s <= candidate)
+            coverage = covered / len(attr_sets)
+            view_width = sum(
+                self.schema.attribute(name).width for name in candidate
+            )
+            view = ViewCandidate(
+                table=self.schema.name,
+                attributes=tuple(
+                    name
+                    for name in self.schema.attribute_names
+                    if name in candidate
+                ),
+                coverage=coverage,
+                view_width=view_width,
+                base_width=base_width,
+            )
+            score = coverage * view.bytes_saved_fraction
+            if score > 0:
+                scored.append((score, view))
+        scored.sort(key=lambda pair: (-pair[0], pair[1].attributes))
+        return [view for _score, view in scored[:max_views]]

@@ -1,0 +1,85 @@
+"""Layout advisor: row or column store for a given workload + hardware.
+
+Uses the Section 5 analytical model to recommend a physical layout per
+table, the capacity-planning workflow the paper's analysis enables: a
+DBA supplies the query shapes and the machine's cpdb rating, and the
+advisor predicts the speedup for each query and aggregates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.engine.query import ScanQuery
+from repro.errors import PlanError
+from repro.model.params import QueryShape
+from repro.model.speedup import SpeedupModel
+from repro.storage.layout import Layout
+from repro.types.schema import TableSchema
+
+
+@dataclass(frozen=True)
+class LayoutRecommendation:
+    """The advisor's verdict for one table under one workload."""
+
+    table: str
+    layout: Layout
+    #: Workload-weighted geometric-mean speedup of columns over rows.
+    mean_speedup: float
+    per_query: tuple[tuple[str, float], ...]
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.table}: use a {self.layout.value} store "
+            f"(mean column speedup {self.mean_speedup:.2f}x)"
+        ]
+        for description, value in self.per_query:
+            lines.append(f"  {value:5.2f}x  {description}")
+        return "\n".join(lines)
+
+
+class LayoutAdvisor:
+    """Recommends row vs column layout from predicted speedups."""
+
+    def __init__(self, model: SpeedupModel | None = None):
+        self.model = model or SpeedupModel()
+
+    def shape_for(
+        self, schema: TableSchema, query: ScanQuery, selectivity: float
+    ) -> QueryShape:
+        """Model shape of one query against one schema."""
+        query.validate_against(schema)
+        selected = query.selected_width(schema)
+        return QueryShape(
+            tuple_width=float(schema.row_stride),
+            selected_bytes=float(selected),
+            selectivity=selectivity,
+            num_attributes=len(schema),
+            selected_attributes=len(query.select),
+        )
+
+    def recommend(
+        self,
+        schema: TableSchema,
+        workload: list[tuple[ScanQuery, float]],
+        cpdb: float | None = None,
+    ) -> LayoutRecommendation:
+        """Recommend a layout for ``workload``: (query, selectivity) pairs."""
+        if not workload:
+            raise PlanError("cannot recommend a layout for an empty workload")
+        per_query = []
+        log_sum = 0.0
+        for query, selectivity in workload:
+            shape = self.shape_for(schema, query, selectivity)
+            value = self.model.predict(shape, cpdb=cpdb)
+            per_query.append((query.describe(), value))
+            log_sum += math.log(max(value, 1e-9))
+        mean = float(math.exp(log_sum / len(workload)))
+        layout = Layout.COLUMN if mean >= 1.0 else Layout.ROW
+        return LayoutRecommendation(
+            table=schema.name,
+            layout=layout,
+            mean_speedup=mean,
+            per_query=tuple(per_query),
+        )

@@ -1,0 +1,97 @@
+"""Operating directly on compressed data (the Abadi et al. extension).
+
+The conclusion notes column stores gain further from "the ability to
+operate directly on compressed data".  For dictionary-coded columns the
+engine can evaluate SARGable predicates on the *codes*: the dictionary
+is sorted (codes are ranks), so every comparison maps onto a comparison
+against a code boundary.  Qualifying values are then decoded — only
+them — for the output.
+
+Enabled per execution through
+:attr:`repro.engine.context.ExecutionContext.compressed_execution`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.dictionary import DictionaryCodec
+from repro.engine.predicate import ComparisonOp, Predicate
+
+
+@dataclass(frozen=True)
+class CodePredicate:
+    """A predicate rewritten onto dictionary codes.
+
+    ``op``/``code`` compare against a code boundary; ``constant`` short
+    circuits predicates whose value boundary falls outside the domain.
+    """
+
+    op: ComparisonOp | None
+    code: int = 0
+    constant: bool | None = None
+
+    def evaluate(self, codes: np.ndarray) -> np.ndarray:
+        if self.constant is not None:
+            return np.full(len(codes), self.constant, dtype=bool)
+        return Predicate("code", self.op, self.code).evaluate(codes)
+
+
+def rewrite_predicate(
+    predicate: Predicate, codec: DictionaryCodec
+) -> CodePredicate | None:
+    """Map one value predicate onto dictionary codes, or ``None``.
+
+    Requires the codec's dictionary to be sorted ascending (it is: the
+    advisor builds it with ``np.unique``), so codes preserve order.
+    """
+    dictionary = codec.dictionary
+    if dictionary.size > 1 and np.any(dictionary[1:] < dictionary[:-1]):
+        return None
+    value = np.asarray(predicate.value, dtype=dictionary.dtype)
+    left = int(np.searchsorted(dictionary, value, side="left"))
+    right = int(np.searchsorted(dictionary, value, side="right"))
+    exists = right > left
+    op = predicate.op
+    if op is ComparisonOp.EQ:
+        if not exists:
+            return CodePredicate(op=None, constant=False)
+        return CodePredicate(op=ComparisonOp.EQ, code=left)
+    if op is ComparisonOp.NE:
+        if not exists:
+            return CodePredicate(op=None, constant=True)
+        return CodePredicate(op=ComparisonOp.NE, code=left)
+    if op is ComparisonOp.LE:
+        boundary = right - 1
+        if boundary < 0:
+            return CodePredicate(op=None, constant=False)
+        return CodePredicate(op=ComparisonOp.LE, code=boundary)
+    if op is ComparisonOp.LT:
+        boundary = left - 1
+        if boundary < 0:
+            return CodePredicate(op=None, constant=False)
+        return CodePredicate(op=ComparisonOp.LE, code=boundary)
+    if op is ComparisonOp.GE:
+        if left >= dictionary.size:
+            return CodePredicate(op=None, constant=False)
+        return CodePredicate(op=ComparisonOp.GE, code=left)
+    if op is ComparisonOp.GT:
+        if right >= dictionary.size:
+            return CodePredicate(op=None, constant=False)
+        return CodePredicate(op=ComparisonOp.GE, code=right)
+    return None
+
+
+def rewrite_all(
+    predicates: tuple[Predicate, ...], codec: DictionaryCodec
+) -> list[CodePredicate] | None:
+    """Rewrite every predicate, or ``None`` when any one cannot be."""
+    rewritten = []
+    for predicate in predicates:
+        code_predicate = rewrite_predicate(predicate, codec)
+        if code_predicate is None:
+            return None
+        rewritten.append(code_predicate)
+    return rewritten

@@ -1,0 +1,26 @@
+"""Shared execution state: event counters and hardware constants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpusim.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.cpusim.events import CostEvents
+from repro.engine.blocks import DEFAULT_BLOCK_SIZE
+
+
+@dataclass
+class ExecutionContext:
+    """Threaded through every operator of one plan execution."""
+
+    calibration: Calibration = DEFAULT_CALIBRATION
+    block_size: int = DEFAULT_BLOCK_SIZE
+    #: Evaluate SARGable predicates directly on dictionary codes where
+    #: possible, decoding only qualifying values (extension; see
+    #: :mod:`repro.engine.compressed_exec`).
+    compressed_execution: bool = False
+    events: CostEvents = field(default_factory=CostEvents)
+
+    def reset_events(self) -> None:
+        """Fresh counters (e.g. between repeated executions)."""
+        self.events = CostEvents()

@@ -1,0 +1,65 @@
+"""Plan execution and result collection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cpusim.events import CostEvents
+from repro.engine.blocks import Block, concat_blocks
+from repro.engine.context import ExecutionContext
+from repro.engine.operators.base import Operator
+from repro.engine.plan import ColumnScannerKind, scan_plan
+from repro.engine.query import ScanQuery
+from repro.storage.table import Table
+
+
+@dataclass
+class QueryResult:
+    """Materialized output of one plan execution plus its cost events."""
+
+    columns: dict[str, np.ndarray]
+    positions: np.ndarray
+    events: CostEvents
+
+    @property
+    def num_tuples(self) -> int:
+        return len(self.positions)
+
+    def column(self, name: str) -> np.ndarray:
+        return self.columns[name]
+
+    def rows(self) -> list[tuple]:
+        """Tuples in column order (testing convenience)."""
+        names = list(self.columns)
+        return [
+            tuple(self.columns[name][i] for name in names)
+            for i in range(self.num_tuples)
+        ]
+
+    def as_block(self) -> Block:
+        return Block(columns=self.columns, positions=self.positions)
+
+
+def execute_plan(plan: Operator) -> QueryResult:
+    """Drain a plan and return its materialized output."""
+    blocks = plan.drain()
+    merged = concat_blocks(blocks)
+    return QueryResult(
+        columns=merged.columns,
+        positions=merged.positions,
+        events=plan.context.events,
+    )
+
+
+def run_scan(
+    table: Table,
+    query: ScanQuery,
+    context: ExecutionContext | None = None,
+    column_scanner: ColumnScannerKind = ColumnScannerKind.PIPELINED,
+) -> QueryResult:
+    """Plan and execute one scan query against a table."""
+    context = context or ExecutionContext()
+    plan = scan_plan(context, table, query, column_scanner)
+    return execute_plan(plan)

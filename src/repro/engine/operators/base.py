@@ -1,0 +1,75 @@
+"""Pull-based block-iterator operator interface (Section 2.2.3).
+
+Each operator calls ``next()`` on its child and receives a block of
+tuples (or ``None`` at end of stream).  Operators are agnostic about
+the database schema and work on generic column dictionaries.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.engine.blocks import Block
+from repro.engine.context import ExecutionContext
+from repro.errors import EngineError
+
+
+class Operator(abc.ABC):
+    """One node of a query plan."""
+
+    def __init__(self, context: ExecutionContext):
+        self.context = context
+        self._opened = False
+
+    @property
+    def events(self):
+        return self.context.events
+
+    def open(self) -> None:
+        """Prepare for iteration; children are opened first."""
+        for child in self.children():
+            child.open()
+        self._open()
+        self._opened = True
+
+    def next(self) -> Block | None:
+        """The next block of tuples, or ``None`` when exhausted."""
+        if not self._opened:
+            raise EngineError(f"{type(self).__name__}.next() before open()")
+        block = self._next()
+        if block is not None and len(block):
+            self.events.blocks_produced += 1
+        return block
+
+    def close(self) -> None:
+        """Release state; children are closed last."""
+        self._close()
+        for child in self.children():
+            child.close()
+        self._opened = False
+
+    def children(self) -> list["Operator"]:
+        """Child operators (empty for scanners)."""
+        return []
+
+    def _open(self) -> None:
+        """Subclass hook."""
+
+    @abc.abstractmethod
+    def _next(self) -> Block | None:
+        """Subclass hook: produce the next block."""
+
+    def _close(self) -> None:
+        """Subclass hook."""
+
+    def drain(self) -> list[Block]:
+        """Run the subtree to completion (open/next*/close)."""
+        self.open()
+        blocks = []
+        while True:
+            block = self.next()
+            if block is None:
+                break
+            blocks.append(block)
+        self.close()
+        return blocks

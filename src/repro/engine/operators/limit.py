@@ -1,0 +1,137 @@
+"""Limit and top-N operators.
+
+Report queries usually end in ``ORDER BY ... LIMIT k``; ``TopN`` fuses
+the sort with the cutoff (keeping only the best ``k`` per block) so the
+limit costs ``n log2 k`` comparisons instead of a full ``n log2 n``
+sort.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.engine.blocks import Block, split_into_blocks
+from repro.engine.context import ExecutionContext
+from repro.engine.operators.base import Operator
+from repro.errors import EngineError, PlanError
+
+
+class Limit(Operator):
+    """Pass through at most ``count`` tuples, then stop pulling."""
+
+    def __init__(self, context: ExecutionContext, child: Operator, count: int):
+        super().__init__(context)
+        if count < 0:
+            raise PlanError(f"limit must be non-negative: {count}")
+        self.child = child
+        self.count = count
+        self._remaining = count
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def _open(self) -> None:
+        self._remaining = self.count
+
+    def _next(self) -> Block | None:
+        if self._remaining <= 0:
+            return None
+        block = self.child.next()
+        if block is None:
+            return None
+        if len(block) > self._remaining:
+            mask = np.zeros(len(block), dtype=bool)
+            mask[: self._remaining] = True
+            block = block.take(mask)
+        self._remaining -= len(block)
+        return block
+
+
+class TopN(Operator):
+    """The ``k`` tuples with the smallest (or largest) key values."""
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        child: Operator,
+        key: str,
+        count: int,
+        descending: bool = False,
+    ):
+        super().__init__(context)
+        if count <= 0:
+            raise PlanError(f"top-N needs a positive count: {count}")
+        self.child = child
+        self.key = key
+        self.count = count
+        self.descending = descending
+        self._ready: list[Block] = []
+        self._done = False
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def _open(self) -> None:
+        self._ready = []
+        self._done = False
+
+    def _next(self) -> Block | None:
+        if not self._done:
+            self._ready = self._compute()
+            self._done = True
+        if not self._ready:
+            return None
+        return self._ready.pop(0)
+
+    def _compute(self) -> list[Block]:
+        best: Block | None = None
+        while True:
+            block = self.child.next()
+            if block is None:
+                break
+            if not len(block):
+                continue
+            if self.key not in block.columns:
+                raise PlanError(f"top-N key {self.key!r} missing from input")
+            merged = block if best is None else _concat_pair(best, block)
+            # Maintaining a k-bounded heap: log2(k) per inserted tuple.
+            self.events.sort_comparisons += int(
+                len(block) * max(1.0, math.log2(self.count + 1))
+            )
+            keys = merged.column(self.key)
+            order = np.argsort(keys, kind="stable")
+            if self.descending:
+                order = order[::-1]
+            take = order[: self.count]
+            take.sort()  # keep stable input order within the retained set
+            mask = np.zeros(len(merged), dtype=bool)
+            mask[take] = True
+            best = merged.take(mask)
+        if best is None:
+            return []
+        keys = best.column(self.key)
+        order = np.argsort(keys, kind="stable")
+        if self.descending:
+            order = order[::-1]
+        final = Block(
+            columns={name: col[order] for name, col in best.columns.items()},
+            positions=best.positions[order],
+        )
+        return split_into_blocks(final, self.context.block_size)
+
+
+def _concat_pair(a: Block, b: Block) -> Block:
+    if a.attribute_names != b.attribute_names:
+        raise EngineError(
+            f"cannot merge blocks with attributes {a.attribute_names} and "
+            f"{b.attribute_names}"
+        )
+    return Block(
+        columns={
+            name: np.concatenate([a.columns[name], b.columns[name]])
+            for name in a.attribute_names
+        },
+        positions=np.concatenate([a.positions, b.positions]),
+    )

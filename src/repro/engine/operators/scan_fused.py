@@ -1,0 +1,130 @@
+"""Fused (single-iterator) column scanner — the Section 4.2 extension.
+
+The paper notes that instead of a pipeline of position-driven scan
+nodes, a column system can fetch the pages of *all* scanned columns
+into memory and iterate over entire rows through memory offsets,
+"similarly to a row store" (the PAX / MonetDB approach).  This scanner
+implements that optimization: every accessed column is read densely, a
+combined predicate mask is computed once, and qualifying tuples are
+projected in a single pass.
+
+Compared with the pipelined scanner it trades position-list bookkeeping
+for dense decodes of every accessed column — cheaper at high
+selectivity, more expensive at very low selectivity.  I/O behaviour is
+identical (same files are read).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.cpusim.cache import page_lines
+from repro.engine.blocks import Block, split_into_blocks
+from repro.engine.context import ExecutionContext
+from repro.engine.operators.base import Operator
+from repro.engine.predicate import Predicate
+from repro.errors import PlanError
+from repro.storage.table import ColumnTable
+
+
+class FusedColumnScanner(Operator):
+    """Row-at-a-time iteration over in-memory column pages."""
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        table: ColumnTable,
+        select: tuple[str, ...],
+        predicates: tuple[Predicate, ...] = (),
+    ):
+        super().__init__(context)
+        if not select:
+            raise PlanError("fused scanner needs a non-empty select list")
+        self.table = table
+        self.select = tuple(select)
+        self.predicates = tuple(predicates)
+        self._attrs = self._scan_attrs()
+        self._ready: deque[Block] = deque()
+        self._done = False
+
+    def _scan_attrs(self) -> list[str]:
+        order = [p.attr for p in self.predicates]
+        order += [name for name in self.select if name not in order]
+        seen: set[str] = set()
+        unique = []
+        for name in order:
+            if name not in seen:
+                seen.add(name)
+                unique.append(name)
+        for name in unique:
+            self.table.schema.attribute(name)
+        return unique
+
+    def scan_attribute_order(self) -> list[str]:
+        """The columns read (all densely)."""
+        return list(self._attrs)
+
+    def _open(self) -> None:
+        self._ready.clear()
+        self._done = False
+
+    def _next(self) -> Block | None:
+        if not self._ready and not self._done:
+            self._execute()
+            self._done = True
+        if not self._ready:
+            return None
+        return self._ready.popleft()
+
+    def _execute(self) -> None:
+        events = self.events
+        calibration = self.context.calibration
+        columns: dict[str, np.ndarray] = {}
+        for name in self._attrs:
+            column_file = self.table.column_file(name)
+            spec = self.table.schema.attribute(name).spec
+            bits = column_file.page_codec.codec.bits_per_value
+            chunks = []
+            for page in column_file.file.iter_pages():
+                _pid, count, payload, state = column_file.page_codec.decode_raw(page)
+                chunks.append(
+                    column_file.page_codec.codec.decode_page(payload, count, state)
+                )
+                events.pages_touched += 1
+                events.count_decode(spec.kind, count)
+                events.mem_seq_lines += page_lines(
+                    count, bits, calibration.l2_line_bytes
+                )
+                events.l1_lines += page_lines(count, bits, calibration.l1_line_bytes)
+            if chunks:
+                columns[name] = np.concatenate(chunks)
+            else:
+                attr = self.table.schema.attribute(name)
+                columns[name] = np.zeros(0, dtype=attr.attr_type.numpy_dtype())
+
+        count = self.table.num_rows
+        # Row-at-a-time iteration across the resident pages.
+        events.tuples_examined += count
+        mask = np.ones(count, dtype=bool)
+        for index, predicate in enumerate(self.predicates):
+            candidates = count if index == 0 else int(np.count_nonzero(mask))
+            events.predicate_evals += candidates
+            events.predicate_eval_bytes += (
+                candidates * self.table.schema.attribute(predicate.attr).width
+            )
+            mask &= predicate.evaluate(columns[predicate.attr])
+
+        qualified = int(np.count_nonzero(mask))
+        selected_width = sum(
+            self.table.schema.attribute(name).width for name in self.select
+        )
+        events.values_copied += qualified * len(self.select)
+        events.bytes_copied += qualified * selected_width
+
+        block = Block(
+            columns={name: columns[name][mask] for name in self.select},
+            positions=np.flatnonzero(mask).astype(np.int64),
+        )
+        self._ready.extend(split_into_blocks(block, self.context.block_size))

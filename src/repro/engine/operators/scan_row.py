@@ -1,0 +1,143 @@
+"""Row-table scanner.
+
+Iterates over the pages of the single row file and, per page, over the
+tuples: applies the predicates, projects qualifying tuples onto the
+selected attributes, and emits blocks (Section 2.2.2).  The row store
+reads — and therefore streams through the memory hierarchy — every byte
+of every page regardless of the projection, which is why its cost
+curves are flat in projectivity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.compression.base import CodecKind
+from repro.engine.blocks import Block, split_into_blocks
+from repro.engine.context import ExecutionContext
+from repro.engine.operators.base import Operator
+from repro.engine.predicate import Predicate
+from repro.errors import PlanError
+from repro.storage.table import RowTable
+
+_WHOLE_PAGE_KINDS = (CodecKind.FOR_DELTA,)
+
+
+class RowScanner(Operator):
+    """Scan a :class:`RowTable`, applying predicates and projecting."""
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        table: RowTable,
+        select: tuple[str, ...],
+        predicates: tuple[Predicate, ...] = (),
+    ):
+        super().__init__(context)
+        self.table = table
+        for name in select:
+            table.schema.attribute(name)
+        for predicate in predicates:
+            table.schema.attribute(predicate.attr)
+        if not select:
+            raise PlanError("row scanner needs a non-empty select list")
+        self.select = tuple(select)
+        self.predicates = tuple(predicates)
+        self._page_iter = None
+        self._ready: deque[Block] = deque()
+        self._row_base = 0
+        self._emitted_any = False
+        self._schema_compressed = any(
+            attr.spec.is_compressed for attr in table.schema
+        )
+
+    def _open(self) -> None:
+        self._page_iter = iter(self.table.file.iter_pages())
+        self._ready.clear()
+        self._row_base = 0
+        self._emitted_any = False
+
+    def _next(self) -> Block | None:
+        while not self._ready:
+            page = next(self._page_iter, None)
+            if page is None:
+                if not self._emitted_any:
+                    # Emit one empty block so the output schema survives
+                    # a scan with no qualifying tuples.
+                    self._emitted_any = True
+                    return self._empty_block()
+                return None
+            self._process_page(page)
+        self._emitted_any = True
+        return self._ready.popleft()
+
+    def _empty_block(self) -> Block:
+        columns = {
+            name: np.zeros(
+                0, dtype=self.table.schema.attribute(name).attr_type.numpy_dtype()
+            )
+            for name in self.select
+        }
+        return Block(columns=columns, positions=np.zeros(0, dtype=np.int64))
+
+    def _process_page(self, page: bytes) -> None:
+        events = self.events
+        calibration = self.context.calibration
+        _page_id, count, columns = self.table.page_codec.decode_columns(page)
+
+        events.pages_touched += 1
+        events.tuples_examined += count
+        # The row store touches the whole page front to back: purely
+        # sequential memory traffic.
+        events.mem_seq_lines += self.table.page_size // calibration.l2_line_bytes
+        events.l1_lines += self.table.page_size // calibration.l1_line_bytes
+
+        mask = np.ones(count, dtype=bool)
+        decoded_attrs: set[str] = set()
+        for index, predicate in enumerate(self.predicates):
+            candidates = int(np.count_nonzero(mask)) if index else count
+            events.predicate_evals += candidates
+            events.predicate_eval_bytes += (
+                candidates * self.table.schema.attribute(predicate.attr).width
+            )
+            self._count_decodes(predicate.attr, count, count, decoded_attrs)
+            mask &= predicate.evaluate(columns[predicate.attr])
+
+        qualified = int(np.count_nonzero(mask))
+        if qualified:
+            for name in self.select:
+                self._count_decodes(name, count, qualified, decoded_attrs)
+            selected_width = sum(
+                self.table.schema.attribute(name).width for name in self.select
+            )
+            events.values_copied += qualified * len(self.select)
+            events.bytes_copied += qualified * selected_width
+
+            positions = self._row_base + np.flatnonzero(mask)
+            block = Block(
+                columns={name: columns[name][mask] for name in self.select},
+                positions=positions,
+            )
+            self._ready.extend(split_into_blocks(block, self.context.block_size))
+        self._row_base += count
+
+    def _count_decodes(
+        self,
+        attr_name: str,
+        page_count: int,
+        accessed: int,
+        decoded_attrs: set[str],
+    ) -> None:
+        """Charge decompression work for touching one attribute."""
+        if not self._schema_compressed or attr_name in decoded_attrs:
+            return
+        spec = self.table.schema.attribute(attr_name).spec
+        if not spec.is_compressed:
+            return
+        decoded_attrs.add(attr_name)
+        if spec.kind in _WHOLE_PAGE_KINDS:
+            self.events.count_decode(spec.kind, page_count)
+        else:
+            self.events.count_decode(spec.kind, accessed)

@@ -1,0 +1,77 @@
+"""Materializing sort operator.
+
+Used below :class:`~repro.engine.operators.aggregate.SortAggregate` or
+:class:`~repro.engine.operators.merge_join.MergeJoin` when an input is
+not already clustered on the key.  Charges ``n log2 n`` comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.engine.blocks import Block, concat_blocks, split_into_blocks
+from repro.engine.context import ExecutionContext
+from repro.engine.operators.base import Operator
+from repro.errors import PlanError
+
+
+class SortOperator(Operator):
+    """Sort the child's entire output on one attribute."""
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        child: Operator,
+        key: str,
+        descending: bool = False,
+    ):
+        super().__init__(context)
+        self.child = child
+        self.key = key
+        self.descending = descending
+        self._ready: list[Block] = []
+        self._done = False
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def _open(self) -> None:
+        self._ready = []
+        self._done = False
+
+    def _next(self) -> Block | None:
+        if not self._done:
+            self._ready = self._compute()
+            self._done = True
+        if not self._ready:
+            return None
+        return self._ready.pop(0)
+
+    def _compute(self) -> list[Block]:
+        blocks = []
+        while True:
+            block = self.child.next()
+            if block is None:
+                break
+            if len(block):
+                blocks.append(block)
+        data = concat_blocks(blocks)
+        if not len(data):
+            return []
+        if self.key not in data.columns:
+            raise PlanError(f"sort key {self.key!r} missing from input")
+        n = len(data)
+        self.events.sort_comparisons += int(n * max(1.0, math.log2(n)))
+        order = np.argsort(data.column(self.key), kind="stable")
+        if self.descending:
+            order = order[::-1]
+        width = sum(int(col.dtype.itemsize) for col in data.columns.values())
+        self.events.values_copied += n * len(data.columns)
+        self.events.bytes_copied += n * width
+        sorted_block = Block(
+            columns={name: col[order] for name, col in data.columns.items()},
+            positions=data.positions[order],
+        )
+        return split_into_blocks(sorted_block, self.context.block_size)

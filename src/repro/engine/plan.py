@@ -1,0 +1,96 @@
+"""Plan builders: query specs → operator trees.
+
+The paper uses precompiled plans with an identical operator layer above
+the scanners; these builders are that precompilation step.  The same
+:class:`~repro.engine.query.ScanQuery` yields interchangeable plans for
+row and column tables.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.engine.context import ExecutionContext
+from repro.engine.operators.aggregate import HashAggregate, SortAggregate
+from repro.engine.operators.base import Operator
+from repro.engine.operators.merge_join import MergeJoin
+from repro.engine.operators.scan_column import ColumnScanner
+from repro.engine.operators.scan_fused import FusedColumnScanner
+from repro.engine.operators.scan_pax import PaxScanner
+from repro.engine.operators.scan_row import RowScanner
+from repro.engine.operators.sort import SortOperator
+from repro.engine.query import AggregateSpec, ScanQuery
+from repro.errors import PlanError
+from repro.storage.table import ColumnTable, PaxTable, RowTable, Table
+
+
+class ColumnScannerKind(enum.Enum):
+    """Which column-scanner architecture to plan (Section 4.2)."""
+
+    PIPELINED = "pipelined"
+    FUSED = "fused"
+
+
+def scan_plan(
+    context: ExecutionContext,
+    table: Table,
+    query: ScanQuery,
+    column_scanner: ColumnScannerKind = ColumnScannerKind.PIPELINED,
+) -> Operator:
+    """A scanner for ``query`` matching the table's physical layout."""
+    query.validate_against(table.schema)
+    if isinstance(table, RowTable):
+        return RowScanner(context, table, query.select, query.predicates)
+    if isinstance(table, PaxTable):
+        return PaxScanner(context, table, query.select, query.predicates)
+    if isinstance(table, ColumnTable):
+        if column_scanner is ColumnScannerKind.FUSED:
+            return FusedColumnScanner(context, table, query.select, query.predicates)
+        return ColumnScanner(context, table, query.select, query.predicates)
+    raise PlanError(f"unsupported table type: {type(table).__name__}")
+
+
+def aggregate_plan(
+    context: ExecutionContext,
+    table: Table,
+    query: ScanQuery,
+    spec: AggregateSpec,
+    sort_based: bool = False,
+    column_scanner: ColumnScannerKind = ColumnScannerKind.PIPELINED,
+) -> Operator:
+    """Aggregation over a scan; optionally sort-based (adds a sort)."""
+    needed = set(spec.group_by)
+    if spec.argument is not None:
+        needed.add(spec.argument)
+    missing = needed - set(query.select)
+    if missing:
+        raise PlanError(
+            f"aggregate needs attributes not selected by the scan: {sorted(missing)}"
+        )
+    scan = scan_plan(context, table, query, column_scanner)
+    if sort_based:
+        if not spec.group_by:
+            raise PlanError("sort-based aggregation requires a group-by key")
+        child = SortOperator(context, scan, key=spec.group_by[0])
+        return SortAggregate(context, child, spec)
+    return HashAggregate(context, scan, spec)
+
+
+def merge_join_plan(
+    context: ExecutionContext,
+    left_table: Table,
+    left_query: ScanQuery,
+    right_table: Table,
+    right_query: ScanQuery,
+    left_key: str,
+    right_key: str,
+    column_scanner: ColumnScannerKind = ColumnScannerKind.PIPELINED,
+) -> Operator:
+    """Scan both tables and merge-join them on sorted keys."""
+    if left_key not in left_query.select:
+        raise PlanError(f"left scan must select the join key {left_key!r}")
+    if right_key not in right_query.select:
+        raise PlanError(f"right scan must select the join key {right_key!r}")
+    left = scan_plan(context, left_table, left_query, column_scanner)
+    right = scan_plan(context, right_table, right_query, column_scanner)
+    return MergeJoin(context, left, right, left_key, right_key)

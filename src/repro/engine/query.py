@@ -1,0 +1,96 @@
+"""Declarative query specs (the paper uses precompiled queries).
+
+The experiments all instantiate one template::
+
+    select A1, A2 ... from TABLE
+    where predicate(A1) yields a chosen selectivity
+
+plus optional aggregation on top.  :class:`ScanQuery` captures the
+template; the plan builders in :mod:`repro.engine.plan` turn it into an
+operator tree for either layout.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.engine.predicate import Predicate
+from repro.errors import PlanError
+from repro.types.schema import TableSchema
+
+
+@dataclass(frozen=True)
+class ScanQuery:
+    """A projection + conjunctive SARGable selection over one table."""
+
+    table: str
+    select: tuple[str, ...]
+    predicates: tuple[Predicate, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.select:
+            raise PlanError("a query must select at least one attribute")
+        if len(set(self.select)) != len(self.select):
+            raise PlanError(f"duplicate attributes in select list: {self.select}")
+
+    def validate_against(self, schema: TableSchema) -> None:
+        """Check every referenced attribute exists."""
+        for name in self.select:
+            schema.attribute(name)
+        for predicate in self.predicates:
+            schema.attribute(predicate.attr)
+
+    def scan_attributes(self) -> tuple[str, ...]:
+        """Attributes the scan must read: selected plus predicate attrs.
+
+        Predicate attributes are pushed to the front (the paper pushes
+        selective scan nodes as deep as possible).
+        """
+        ordered = [p.attr for p in self.predicates if p.attr in self.select]
+        ordered += [p.attr for p in self.predicates if p.attr not in self.select]
+        ordered += [name for name in self.select if name not in ordered]
+        # Preserve first occurrence only.
+        seen: set[str] = set()
+        unique = []
+        for name in ordered:
+            if name not in seen:
+                seen.add(name)
+                unique.append(name)
+        return tuple(unique)
+
+    def predicates_on(self, attr: str) -> tuple[Predicate, ...]:
+        """The predicates bound to one attribute."""
+        return tuple(p for p in self.predicates if p.attr == attr)
+
+    def selected_width(self, schema: TableSchema) -> int:
+        """Uncompressed bytes per tuple the query projects."""
+        return sum(schema.attribute(name).width for name in self.select)
+
+    def describe(self) -> str:
+        where = " and ".join(p.describe() for p in self.predicates) or "true"
+        return f"select {', '.join(self.select)} from {self.table} where {where}"
+
+
+class AggregateFunction(enum.Enum):
+    """Supported aggregate functions."""
+
+    COUNT = "count"
+    SUM = "sum"
+    MIN = "min"
+    MAX = "max"
+    AVG = "avg"
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """A grouped aggregation over a scan's output."""
+
+    group_by: tuple[str, ...]
+    function: AggregateFunction
+    argument: str | None = None
+
+    def __post_init__(self) -> None:
+        needs_arg = self.function is not AggregateFunction.COUNT
+        if needs_arg and self.argument is None:
+            raise PlanError(f"{self.function.value} needs an argument attribute")

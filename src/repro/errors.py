@@ -1,0 +1,48 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A table schema is malformed or an attribute reference is invalid."""
+
+
+class StorageError(ReproError):
+    """A page, file, or table is malformed or used inconsistently."""
+
+
+class PageFormatError(StorageError):
+    """Raised when decoding a page whose bytes do not match the layout."""
+
+
+class PageOverflowError(StorageError):
+    """Raised when appending a value to a page that has no room left."""
+
+
+class CompressionError(ReproError):
+    """A codec cannot encode the given values or decode the given bytes."""
+
+
+class EngineError(ReproError):
+    """A query plan is malformed or an operator is misused."""
+
+
+class PlanError(EngineError):
+    """A query references attributes or tables that do not exist."""
+
+
+class SimulationError(ReproError):
+    """The I/O or CPU simulator was configured or driven inconsistently."""
+
+
+class CalibrationError(ReproError):
+    """Analytical-model calibration was given unusable measurements."""

@@ -1,0 +1,21 @@
+"""The paper's performance study, experiment by experiment.
+
+Each module under :mod:`repro.experiments.figures` regenerates one
+table or figure of the paper's evaluation; the shared
+:mod:`repro.experiments.runner` executes a query on the engine, scales
+its event counts to paper cardinality, runs the disk simulation at
+paper-scale file sizes, and combines both into elapsed time exactly as
+the paper's overlapped AIO design does.
+"""
+
+from repro.experiments.config import CompetingTraffic, ExperimentConfig
+from repro.experiments.runner import ScanMeasurement, measure_scan
+from repro.experiments.report import format_table
+
+__all__ = [
+    "ExperimentConfig",
+    "CompetingTraffic",
+    "ScanMeasurement",
+    "measure_scan",
+    "format_table",
+]

@@ -1,0 +1,70 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments               # run everything
+    python -m repro.experiments figure-6      # run one experiment
+    python -m repro.experiments --rows 8000 figure-10 figure-11
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.config import DEFAULT_EXECUTED_ROWS
+from repro.experiments.figures import ALL_EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=list(ALL_EXPERIMENTS) + [[]],
+        help="experiments to run (default: all)",
+    )
+    parser.add_argument(
+        "--charts",
+        action="store_true",
+        help="also render text charts of each experiment's main series",
+    )
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=DEFAULT_EXECUTED_ROWS,
+        help="materialized rows the engine executes on",
+    )
+    args = parser.parse_args(argv)
+    names = args.experiments or list(ALL_EXPERIMENTS)
+    for name in names:
+        started = time.time()
+        output = ALL_EXPERIMENTS[name](num_rows=args.rows)
+        print(output.render())
+        if args.charts and output.series:
+            from repro.experiments.charts import render_bar_chart
+
+            numeric = {
+                key: values
+                for key, values in output.series.items()
+                if values and all(isinstance(v, (int, float)) for v in values)
+            }
+            for key, values in list(numeric.items())[:4]:
+                print()
+                print(f"[{key}]")
+                print(
+                    render_bar_chart(
+                        [str(i) for i in range(len(values))], list(values)
+                    )
+                )
+        print(f"[{name} regenerated in {time.time() - started:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

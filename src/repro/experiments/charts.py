@@ -1,0 +1,90 @@
+"""Plain-text chart rendering for the regenerated figures.
+
+The paper's figures are line charts and stacked bars; these helpers
+render their text equivalents so ``python -m repro.experiments
+--charts`` output reads like the evaluation section.
+"""
+
+from __future__ import annotations
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def render_bar_chart(
+    labels: list[str],
+    values: list[float],
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels for {len(values)} values"
+        )
+    if not values:
+        return "(empty chart)"
+    peak = max(max(values), 1e-12)
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = value / peak * width
+        whole = int(filled)
+        remainder = filled - whole
+        partial = _BLOCKS[int(remainder * (len(_BLOCKS) - 1))] if whole < width else ""
+        bar = "█" * whole + partial
+        lines.append(
+            f"{label.rjust(label_width)} |{bar.ljust(width)}| "
+            f"{value:.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def render_series_chart(
+    x_values: list[float],
+    named_series: dict[str, list[float]],
+    height: int = 12,
+    width: int = 60,
+) -> str:
+    """Multiple series as a character-grid line chart.
+
+    Each series gets a marker (``*``, ``o``, ``+``...); collisions show
+    the later series' marker.
+    """
+    markers = "*o+x@#%&"
+    all_values = [v for series in named_series.values() for v in series]
+    if not all_values or not x_values:
+        return "(empty chart)"
+    y_max = max(all_values)
+    y_min = min(0.0, min(all_values))
+    y_span = max(y_max - y_min, 1e-12)
+    x_max, x_min = max(x_values), min(x_values)
+    x_span = max(x_max - x_min, 1e-12)
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, series) in enumerate(named_series.items()):
+        if len(series) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(series)} points for "
+                f"{len(x_values)} x values"
+            )
+        marker = markers[index % len(markers)]
+        for x, y in zip(x_values, series):
+            column = int((x - x_min) / x_span * (width - 1))
+            row = height - 1 - int((y - y_min) / y_span * (height - 1))
+            grid[row][column] = marker
+    lines = [f"{y_max:>10.1f} ┤" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_min:>10.1f} ┤" + "".join(grid[-1]))
+    lines.append(
+        " " * 10
+        + " └"
+        + "─" * width
+    )
+    lines.append(f"{'':10}  {x_min:<10.0f}{'':{max(0, width - 20)}}{x_max:>10.0f}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}"
+        for i, name in enumerate(named_series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

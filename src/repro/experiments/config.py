@@ -1,0 +1,57 @@
+"""Experiment configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cpusim.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.engine.blocks import DEFAULT_BLOCK_SIZE
+from repro.errors import SimulationError
+
+#: The paper's table cardinality: scale 10 LINEITEM / scale 40 ORDERS,
+#: 60 M tuples each.
+PAPER_CARDINALITY = 60_000_000
+
+#: Materialized rows the engine actually executes on.  Event counts are
+#: linear in N and scaled up; this only has to be large enough for the
+#: quantile predicates and page mix to be representative.
+DEFAULT_EXECUTED_ROWS = 6_000
+
+
+@dataclass(frozen=True)
+class CompetingTraffic:
+    """A concurrent sequential scan competing for the disks (§4.5)."""
+
+    file_bytes: int
+    #: None = match the prefetch depth of the system under measurement,
+    #: as the paper does to present the controller with a balanced load.
+    prefetch_depth: int | None = None
+    start_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.file_bytes <= 0:
+            raise SimulationError(f"competing file must be non-empty: {self.file_bytes}")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything one measurement needs beyond the table and query."""
+
+    calibration: Calibration = DEFAULT_CALIBRATION
+    cardinality: int = PAPER_CARDINALITY
+    prefetch_depth: int | None = None   #: None = calibration default (48)
+    block_size: int = DEFAULT_BLOCK_SIZE
+    #: Use the paper's "slow" column variant: wait for one column's
+    #: request to complete before submitting the next column's.
+    slow_column_io: bool = False
+    competing: CompetingTraffic | None = None
+
+    @property
+    def effective_prefetch_depth(self) -> int:
+        if self.prefetch_depth is not None:
+            return self.prefetch_depth
+        return self.calibration.default_prefetch_depth
+
+    def with_(self, **kwargs) -> "ExperimentConfig":
+        """A copy with some fields replaced."""
+        return replace(self, **kwargs)

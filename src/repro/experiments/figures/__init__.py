@@ -1,0 +1,55 @@
+"""One module per regenerated table/figure, plus the extensions."""
+
+from repro.experiments.figures import (
+    capacity_sweep,
+    compressed_execution,
+    fig02_contour,
+    fig02_measured,
+    fig06_baseline,
+    fig07_selectivity,
+    fig08_narrow,
+    fig09_compression,
+    fig10_prefetch,
+    fig11_competing,
+    index_breakeven,
+    join_analysis,
+    model_validation,
+    operator_cost,
+    pax_comparison,
+    rle_projection,
+    scan_sharing,
+    sensitivity,
+    table1_trends,
+)
+
+#: The paper's evaluation section.
+PAPER_EXPERIMENTS = {
+    "figure-2": fig02_contour.run,
+    "figure-2-measured": fig02_measured.run,
+    "figure-6": fig06_baseline.run,
+    "figure-7": fig07_selectivity.run,
+    "figure-8": fig08_narrow.run,
+    "figure-9": fig09_compression.run,
+    "figure-10": fig10_prefetch.run,
+    "figure-11": fig11_competing.run,
+    "table-1": table1_trends.run,
+    "model-validation": model_validation.run,
+}
+
+#: Extensions: claims the paper makes in passing (§2.1.1, §6, the
+#: conclusion) turned into measured experiments.
+EXTENSION_EXPERIMENTS = {
+    "index-breakeven": index_breakeven.run,
+    "scan-sharing": scan_sharing.run,
+    "pax-comparison": pax_comparison.run,
+    "compressed-execution": compressed_execution.run,
+    "rle-projection": rle_projection.run,
+    "join-analysis": join_analysis.run,
+    "capacity-sweep": capacity_sweep.run,
+    "sensitivity": sensitivity.run,
+    "operator-cost": operator_cost.run,
+}
+
+ALL_EXPERIMENTS = {**PAPER_EXPERIMENTS, **EXTENSION_EXPERIMENTS}
+
+__all__ = ["ALL_EXPERIMENTS", "PAPER_EXPERIMENTS", "EXTENSION_EXPERIMENTS"]

@@ -1,0 +1,52 @@
+"""Figure 2 — the speedup contour (tuple width × cpdb).
+
+Built from the Section 5 speedup formula at 50 % projection and 10 %
+selectivity, with scanner costs filled from the engine's calibration,
+exactly as the paper fills the formula "from our experimental section".
+Row stores should hold an advantage only for lean relations (under
+~20 bytes) in CPU-constrained (low-cpdb) configurations.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import ExperimentOutput, FigureResult
+from repro.model.contour import speedup_grid
+from repro.model.speedup import SpeedupModel
+
+WIDTHS = (4.0, 8.0, 12.0, 16.0, 20.0, 24.0, 28.0, 32.0, 36.0)
+CPDBS = (9.0, 18.0, 36.0, 72.0, 144.0)
+
+
+def run(
+    num_rows: int = 0,  # unused; present for the common experiment signature
+    config: ExperimentConfig | None = None,
+    projection: float = 0.5,
+    selectivity: float = 0.10,
+) -> ExperimentOutput:
+    """Regenerate Figure 2."""
+    config = config or ExperimentConfig()
+    model = SpeedupModel(calibration=config.calibration)
+    grid = speedup_grid(
+        model,
+        widths=list(WIDTHS),
+        cpdbs=list(CPDBS),
+        projection=projection,
+        selectivity=selectivity,
+    )
+    table = FigureResult(
+        title=(
+            f"Average column-over-row speedup, {projection:.0%} projection, "
+            f"{selectivity:.0%} selectivity"
+        ),
+        headers=["cpdb"] + [f"w={int(w)}" for w in grid.widths],
+    )
+    series: dict[str, list[float]] = {"widths": list(grid.widths)}
+    for i in range(len(grid.cpdbs) - 1, -1, -1):
+        cpdb = float(grid.cpdbs[i])
+        values = [round(float(v), 2) for v in grid.values[i]]
+        table.add_row(int(cpdb), *values)
+        series[f"cpdb_{int(cpdb)}"] = [float(v) for v in grid.values[i]]
+    return ExperimentOutput(
+        name="Figure 2: speedup contour", tables=[table], series=series
+    )

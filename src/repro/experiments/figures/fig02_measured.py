@@ -1,0 +1,87 @@
+"""Figure 2, measured — the contour re-derived from simulation.
+
+Figure 2 comes from the Section 5 formula; this experiment rebuilds a
+coarse version of the same grid by *measuring* (on the simulated
+substrate) synthetic tables of each tuple width under hardware
+configurations matching each cpdb row, then compares against the
+model's prediction cell by cell.
+"""
+
+from __future__ import annotations
+
+from repro.data.synthetic import tuple_width_table
+from repro.engine.predicate import predicate_for_selectivity
+from repro.engine.query import ScanQuery
+from repro.experiments.config import DEFAULT_EXECUTED_ROWS, ExperimentConfig
+from repro.experiments.report import ExperimentOutput, FigureResult
+from repro.experiments.runner import measure_scan
+from repro.model.params import QueryShape
+from repro.model.speedup import SpeedupModel
+from repro.storage.layout import Layout
+from repro.storage.loader import load_table
+
+SELECTIVITY = 0.10
+WIDTHS = (8, 16, 32)
+#: Hardware points and the cpdb they produce (3.2 GHz base clock).
+HARDWARE = (
+    ("6 disks", {"num_disks": 6}),          # ~8.9 cpdb
+    ("3 disks", {"num_disks": 3}),          # ~17.8
+    ("1 disk", {"num_disks": 1}),           # ~53.3
+    ("1 disk, 3 CPUs", {"num_disks": 1, "num_cpus": 3}),  # ~160
+)
+
+
+def run(
+    num_rows: int = DEFAULT_EXECUTED_ROWS,
+    config: ExperimentConfig | None = None,
+) -> ExperimentOutput:
+    """Measure the 50%-projection grid and compare with the model."""
+    base = config or ExperimentConfig()
+    table = FigureResult(
+        title="Measured vs modeled speedup, 50% projection, 10% selectivity",
+        headers=["hardware", "cpdb", "width", "measured", "model", "rel err"],
+    )
+    series: dict[str, list[float]] = {"measured": [], "predicted": []}
+    for width in WIDTHS:
+        data = tuple_width_table(width, num_rows, seed=3)
+        row_table = load_table(data, Layout.ROW)
+        column_table = load_table(data, Layout.COLUMN)
+        num_attrs = len(data.schema)
+        select = data.schema.attribute_names[: num_attrs // 2]
+        predicate = predicate_for_selectivity(
+            select[0], data.column(select[0]), SELECTIVITY
+        )
+        query = ScanQuery(
+            data.schema.name, select=tuple(select), predicates=(predicate,)
+        )
+        for label, overrides in HARDWARE:
+            calibration = base.calibration.with_overrides(**overrides)
+            config_hw = base.with_(calibration=calibration)
+            row = measure_scan(row_table, query, config_hw)
+            column = measure_scan(column_table, query, config_hw)
+            measured = row.elapsed / column.elapsed
+            model = SpeedupModel(calibration=calibration)
+            shape = QueryShape(
+                tuple_width=float(data.schema.row_stride),
+                selected_bytes=float(query.selected_width(data.schema)),
+                selectivity=SELECTIVITY,
+                num_attributes=num_attrs,
+                selected_attributes=len(select),
+            )
+            predicted = model.predict(shape)
+            rel_err = abs(predicted - measured) / measured
+            table.add_row(
+                label,
+                round(calibration.cpdb, 1),
+                width,
+                round(measured, 2),
+                round(predicted, 2),
+                f"{rel_err:.0%}",
+            )
+            series["measured"].append(measured)
+            series["predicted"].append(predicted)
+    return ExperimentOutput(
+        name="Figure 2, measured on the simulator",
+        tables=[table],
+        series=series,
+    )

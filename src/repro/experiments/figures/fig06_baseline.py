@@ -1,0 +1,133 @@
+"""Figure 6 — baseline experiment.
+
+``select L1, L2 ... from LINEITEM where predicate(L1) yields 10 %``:
+total elapsed and CPU time versus the number of selected attributes
+(left graph) and the CPU-time breakdowns (right graph).
+
+Expected shapes: the row store is flat in projectivity; the column
+store reads less and wins until it selects more than ~85 % of the tuple
+bytes, where disk seeks between columns erase the advantage; column CPU
+grows with every attribute and jumps when the string attributes
+(#9-#11) join the selection list.
+"""
+
+from __future__ import annotations
+
+from repro.engine.query import ScanQuery
+from repro.experiments.config import DEFAULT_EXECUTED_ROWS, ExperimentConfig
+from repro.experiments.report import ExperimentOutput, FigureResult
+from repro.experiments.runner import ScanMeasurement, measure_scan
+from repro.experiments.workloads import PreparedTable, prepare_lineitem
+
+SELECTIVITY = 0.10
+PREDICATE_ATTR = "L_PARTKEY"
+
+
+def sweep(
+    prepared: PreparedTable,
+    config: ExperimentConfig,
+    selectivity: float = SELECTIVITY,
+    predicate_attr: str = PREDICATE_ATTR,
+) -> list[tuple[int, ScanMeasurement, ScanMeasurement]]:
+    """(k, row measurement, column measurement) for k = 1..all attrs."""
+    predicate = prepared.predicate(predicate_attr, selectivity)
+    out = []
+    for k in range(1, len(prepared.schema) + 1):
+        query = ScanQuery(
+            prepared.schema.name,
+            select=prepared.attrs_prefix(k),
+            predicates=(predicate,),
+        )
+        row = measure_scan(prepared.row, query, config)
+        column = measure_scan(prepared.column, query, config)
+        out.append((k, row, column))
+    return out
+
+
+def build_output(
+    name: str,
+    points: list[tuple[int, ScanMeasurement, ScanMeasurement]],
+) -> ExperimentOutput:
+    """Format a projectivity sweep the way Figure 6/8 present it."""
+    elapsed = FigureResult(
+        title="Total elapsed and CPU time vs. selected attributes",
+        headers=[
+            "attrs",
+            "sel bytes",
+            "row elapsed (s)",
+            "col elapsed (s)",
+            "row CPU (s)",
+            "col CPU (s)",
+        ],
+    )
+    breakdown = FigureResult(
+        title="Column-store CPU time breakdown (seconds)",
+        headers=["attrs", "sys", "usr-uop", "usr-L2", "usr-L1", "usr-rest", "total"],
+    )
+    series: dict[str, list[float]] = {
+        "selected_bytes": [],
+        "row_elapsed": [],
+        "col_elapsed": [],
+        "row_cpu": [],
+        "col_cpu": [],
+        "col_l2": [],
+    }
+    for k, row, column in points:
+        elapsed.add_row(
+            k,
+            column.selected_bytes,
+            round(row.elapsed, 2),
+            round(column.elapsed, 2),
+            round(row.cpu.total, 2),
+            round(column.cpu.total, 2),
+        )
+        bd = column.cpu
+        breakdown.add_row(
+            k,
+            round(bd.sys, 2),
+            round(bd.usr_uop, 2),
+            round(bd.usr_l2, 2),
+            round(bd.usr_l1, 2),
+            round(bd.usr_rest, 2),
+            round(bd.total, 2),
+        )
+        series["selected_bytes"].append(column.selected_bytes)
+        series["row_elapsed"].append(row.elapsed)
+        series["col_elapsed"].append(column.elapsed)
+        series["row_cpu"].append(row.cpu.total)
+        series["col_cpu"].append(column.cpu.total)
+        series["col_l2"].append(bd.usr_l2)
+
+    first_row = points[0][1]
+    last_row = points[-1][1]
+    row_breakdown = FigureResult(
+        title="Row-store CPU time breakdown (1 and all attributes)",
+        headers=["attrs", "sys", "usr-uop", "usr-L2", "usr-L1", "usr-rest", "total"],
+    )
+    for k, measurement in ((points[0][0], first_row), (points[-1][0], last_row)):
+        bd = measurement.cpu
+        row_breakdown.add_row(
+            k,
+            round(bd.sys, 2),
+            round(bd.usr_uop, 2),
+            round(bd.usr_l2, 2),
+            round(bd.usr_l1, 2),
+            round(bd.usr_rest, 2),
+            round(bd.total, 2),
+        )
+    return ExperimentOutput(
+        name=name,
+        tables=[elapsed, row_breakdown, breakdown],
+        series=series,
+    )
+
+
+def run(
+    num_rows: int = DEFAULT_EXECUTED_ROWS,
+    config: ExperimentConfig | None = None,
+) -> ExperimentOutput:
+    """Regenerate Figure 6."""
+    config = config or ExperimentConfig()
+    prepared = prepare_lineitem(num_rows)
+    points = sweep(prepared, config)
+    return build_output("Figure 6: baseline (LINEITEM, 10% selectivity)", points)

@@ -1,0 +1,31 @@
+"""Figure 7 — effect of selectivity (0.1 %).
+
+Same query as Figure 6 with a very selective filter.  I/O is untouched;
+the interesting change is the CPU breakdown: the column store's later
+scan nodes now process one of every thousand values, so additional
+attributes add negligible CPU work and the string columns' memory
+delays disappear.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import DEFAULT_EXECUTED_ROWS, ExperimentConfig
+from repro.experiments.figures.fig06_baseline import build_output, sweep
+from repro.experiments.report import ExperimentOutput
+from repro.experiments.workloads import prepare_lineitem
+
+SELECTIVITY = 0.001
+
+
+def run(
+    num_rows: int = DEFAULT_EXECUTED_ROWS,
+    config: ExperimentConfig | None = None,
+    selectivity: float = SELECTIVITY,
+) -> ExperimentOutput:
+    """Regenerate Figure 7."""
+    config = config or ExperimentConfig()
+    prepared = prepare_lineitem(num_rows)
+    points = sweep(prepared, config, selectivity=selectivity)
+    return build_output(
+        f"Figure 7: selectivity {selectivity:.3%} (LINEITEM)", points
+    )

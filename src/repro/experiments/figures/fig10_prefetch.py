@@ -1,0 +1,63 @@
+"""Figure 10 — effect of prefetch size (ORDERS scan, no competition).
+
+With a single scan in the system, prefetch depth does not affect the
+row store at all; the column store degrades steadily as the depth
+shrinks because the disks spend proportionally more time seeking
+between column files than reading.
+"""
+
+from __future__ import annotations
+
+from repro.engine.query import ScanQuery
+from repro.experiments.config import DEFAULT_EXECUTED_ROWS, ExperimentConfig
+from repro.experiments.report import ExperimentOutput, FigureResult
+from repro.experiments.runner import measure_scan
+from repro.experiments.workloads import prepare_orders
+
+SELECTIVITY = 0.10
+PREDICATE_ATTR = "O_ORDERDATE"
+PREFETCH_DEPTHS = (2, 4, 8, 16, 48)
+
+
+def run(
+    num_rows: int = DEFAULT_EXECUTED_ROWS,
+    config: ExperimentConfig | None = None,
+    depths: tuple[int, ...] = PREFETCH_DEPTHS,
+) -> ExperimentOutput:
+    """Regenerate Figure 10."""
+    config = config or ExperimentConfig()
+    prepared = prepare_orders(num_rows)
+    predicate = prepared.predicate(PREDICATE_ATTR, SELECTIVITY)
+
+    table = FigureResult(
+        title="Elapsed time (s) vs selected attributes, by prefetch depth",
+        headers=["attrs", "sel bytes", "row"]
+        + [f"col depth={d}" for d in depths],
+    )
+    series: dict[str, list[float]] = {"selected_bytes": [], "row_elapsed": []}
+    for depth in depths:
+        series[f"col_depth_{depth}"] = []
+
+    for k in range(1, len(prepared.schema) + 1):
+        query = ScanQuery(
+            prepared.schema.name,
+            select=prepared.attrs_prefix(k),
+            predicates=(predicate,),
+        )
+        row = measure_scan(prepared.row, query, config)
+        cells: list[object] = [k, row.selected_bytes, round(row.elapsed, 2)]
+        series["selected_bytes"].append(row.selected_bytes)
+        series["row_elapsed"].append(row.elapsed)
+        for depth in depths:
+            measurement = measure_scan(
+                prepared.column, query, config.with_(prefetch_depth=depth)
+            )
+            cells.append(round(measurement.elapsed, 2))
+            series[f"col_depth_{depth}"].append(measurement.elapsed)
+        table.add_row(*cells)
+
+    return ExperimentOutput(
+        name="Figure 10: prefetch-depth sweep (ORDERS)",
+        tables=[table],
+        series=series,
+    )

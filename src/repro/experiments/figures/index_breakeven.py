@@ -1,0 +1,89 @@
+"""Section 2.1.1 — sequential scan vs secondary-index fetch.
+
+Reproduces the paper's back-of-envelope: with 5-10 ms seeks and the
+array's sequential bandwidth, an unclustered index pays off only below
+roughly 0.01 % selectivity.  Sweeps selectivity, compares both access
+paths on the simulated array, and reports the measured breakeven next
+to the closed form.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import DEFAULT_EXECUTED_ROWS, ExperimentConfig
+from repro.experiments.report import ExperimentOutput, FigureResult
+from repro.experiments.workloads import prepare_lineitem
+from repro.index.access_path import breakeven_selectivity, compare_access_paths
+
+SELECTIVITIES = (1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 1e-2, 1e-1)
+
+
+def run(
+    num_rows: int = DEFAULT_EXECUTED_ROWS,
+    config: ExperimentConfig | None = None,
+) -> ExperimentOutput:
+    """Regenerate the index-vs-scan comparison at paper scale."""
+    config = config or ExperimentConfig()
+    prepared = prepare_lineitem(num_rows)
+    calibration = config.calibration
+    tuples_per_page = prepared.row.page_codec.tuples_per_page
+    page_size = prepared.row.page_size
+    cardinality = config.cardinality
+
+    table = FigureResult(
+        title="Access-path cost at paper scale (LINEITEM rows)",
+        headers=[
+            "selectivity",
+            "matches",
+            "seq scan (s)",
+            "index fetch (s)",
+            "pages fetched",
+            "winner",
+        ],
+    )
+    series: dict[str, list[float]] = {
+        "selectivity": [],
+        "sequential": [],
+        "index": [],
+    }
+    for selectivity in SELECTIVITIES:
+        matches = int(round(selectivity * cardinality))
+        costs = compare_access_paths(
+            matches, cardinality, tuples_per_page, page_size, calibration
+        )
+        table.add_row(
+            f"{selectivity:.4%}",
+            matches,
+            round(costs.sequential_seconds, 2),
+            round(costs.index_seconds, 2),
+            costs.pages_fetched,
+            costs.winner,
+        )
+        series["selectivity"].append(selectivity)
+        series["sequential"].append(costs.sequential_seconds)
+        series["index"].append(costs.index_seconds)
+
+    closed_form = breakeven_selectivity(
+        prepared.schema.row_stride, calibration
+    )
+    # The paper quotes its figure for 128-byte tuples / 5 ms / 300 MB/s.
+    paper_reference = breakeven_selectivity(
+        128.0,
+        calibration.with_overrides(
+            seek_seconds=5e-3, disk_bandwidth_bytes=100_000_000, num_disks=3
+        ),
+    )
+    summary = FigureResult(
+        title="Breakeven selectivity (index wins below this)",
+        headers=["configuration", "breakeven"],
+    )
+    summary.add_row("this testbed, 152-byte tuples", f"{closed_form:.4%}")
+    summary.add_row(
+        "paper reference (128 B, 5 ms, 300 MB/s)", f"{paper_reference:.4%}"
+    )
+    series["breakeven"] = [closed_form]
+    series["paper_reference"] = [paper_reference]
+    return ExperimentOutput(
+        name="Section 2.1.1: index vs sequential scan",
+        tables=[table, summary],
+        series=series,
+    )

@@ -1,0 +1,121 @@
+"""Extension — merge-join analysis (the eq. 2 multi-file case).
+
+Section 5's disk-rate equation weights each file's rate by its size
+("in the case of a merge-join, if File1 is 1 GB and File2 is 10 GB,
+then the disks process on average one byte from File1 for every ten
+bytes from File2").  This experiment runs the ORDERS ⋈ LINEITEM merge
+join on both layouts, sweeping the fact-table projection, and checks
+the simulated disk rate against that weighting.
+"""
+
+from __future__ import annotations
+
+from repro.data.tpch import generate_tpch_pair
+from repro.engine.query import ScanQuery
+from repro.experiments.config import DEFAULT_EXECUTED_ROWS, ExperimentConfig
+from repro.experiments.report import ExperimentOutput, FigureResult
+from repro.experiments.runner import measure_join
+from repro.model.params import HardwareParams
+from repro.model.rates import disk_rate_row
+from repro.storage.layout import Layout
+from repro.storage.loader import load_table
+
+_FACT_SELECTS = (
+    ("L_ORDERKEY", "L_EXTENDEDPRICE"),
+    ("L_ORDERKEY", "L_EXTENDEDPRICE", "L_QUANTITY", "L_DISCOUNT"),
+    None,  # all attributes
+)
+
+
+def run(
+    num_rows: int = DEFAULT_EXECUTED_ROWS,
+    config: ExperimentConfig | None = None,
+) -> ExperimentOutput:
+    """Measure the join under both layouts and validate eq. 2."""
+    config = config or ExperimentConfig()
+    orders, lineitem = generate_tpch_pair(max(num_rows // 4, 50), seed=13)
+    tables = {
+        layout: (load_table(orders, layout), load_table(lineitem, layout))
+        for layout in (Layout.ROW, Layout.COLUMN)
+    }
+    orders_query = ScanQuery("ORDERS", select=("O_ORDERKEY", "O_ORDERPRIORITY"))
+
+    table = FigureResult(
+        title="ORDERS x LINEITEM merge join (60M orders, ~4 line items each)",
+        headers=[
+            "fact attrs",
+            "row elapsed (s)",
+            "col elapsed (s)",
+            "row GB read",
+            "col GB read",
+            "speedup",
+        ],
+    )
+    series: dict[str, list[float]] = {
+        "row_elapsed": [],
+        "col_elapsed": [],
+        "speedup": [],
+    }
+    for select in _FACT_SELECTS:
+        fact_select = select or lineitem.schema.attribute_names
+        lineitem_query = ScanQuery("LINEITEM", select=tuple(fact_select))
+        measurements = {}
+        for layout, (orders_table, lineitem_table) in tables.items():
+            measurements[layout] = measure_join(
+                orders_table,
+                orders_query,
+                lineitem_table,
+                lineitem_query,
+                left_key="O_ORDERKEY",
+                right_key="L_ORDERKEY",
+                config=config,
+            )
+        row = measurements[Layout.ROW]
+        col = measurements[Layout.COLUMN]
+        speedup = row.elapsed / col.elapsed
+        table.add_row(
+            len(fact_select),
+            round(row.elapsed, 1),
+            round(col.elapsed, 1),
+            round(row.bytes_read / 1e9, 2),
+            round(col.bytes_read / 1e9, 2),
+            round(speedup, 2),
+        )
+        series["row_elapsed"].append(row.elapsed)
+        series["col_elapsed"].append(col.elapsed)
+        series["speedup"].append(speedup)
+
+    # eq. 2 check for the row layout: predicted tuples/sec from the
+    # weighted file rates vs the simulated run.
+    row_full = measure_join(
+        tables[Layout.ROW][0],
+        orders_query,
+        tables[Layout.ROW][1],
+        ScanQuery("LINEITEM", select=lineitem.schema.attribute_names),
+        left_key="O_ORDERKEY",
+        right_key="L_ORDERKEY",
+        config=config,
+    )
+    hardware = HardwareParams.from_calibration(config.calibration)
+    predicted_rate = disk_rate_row(
+        hardware,
+        [
+            (row_full.left_cardinality, orders.schema.row_stride),
+            (row_full.right_cardinality, lineitem.schema.row_stride),
+        ],
+    )
+    total_tuples = row_full.left_cardinality + row_full.right_cardinality
+    measured_rate = total_tuples / row_full.io_elapsed
+    check = FigureResult(
+        title="Equation 2 validation (row layout, full projection)",
+        headers=["quantity", "tuples/sec"],
+    )
+    check.add_row("predicted (weighted file rates)", f"{predicted_rate:,.0f}")
+    check.add_row("simulated", f"{measured_rate:,.0f}")
+    series["eq2_predicted"] = [predicted_rate]
+    series["eq2_measured"] = [measured_rate]
+    return ExperimentOutput(
+        name="Extension: merge-join analysis",
+        tables=[table, check],
+        series=series,
+    )

@@ -1,0 +1,91 @@
+"""Section 5 validation — analytical model vs simulator measurement.
+
+The paper derives its speedup formula from the measured experiments;
+here we close the loop: for a range of query shapes, compare the
+speedup the formula predicts against the ratio of measured (simulated)
+elapsed times.
+"""
+
+from __future__ import annotations
+
+from repro.engine.query import ScanQuery
+from repro.experiments.config import DEFAULT_EXECUTED_ROWS, ExperimentConfig
+from repro.experiments.report import ExperimentOutput, FigureResult
+from repro.experiments.runner import measure_scan
+from repro.experiments.workloads import PreparedTable, prepare_lineitem, prepare_orders
+from repro.model.params import QueryShape
+from repro.model.speedup import SpeedupModel
+
+SELECTIVITY = 0.10
+
+_CASES = (
+    ("ORDERS", "O_ORDERDATE", (1, 2, 4, 7)),
+    ("LINEITEM", "L_PARTKEY", (1, 4, 8, 16)),
+)
+
+
+def _shape(prepared: PreparedTable, k: int, selectivity: float) -> QueryShape:
+    schema = prepared.schema
+    selected = sum(attr.width for attr in schema.attributes[:k])
+    return QueryShape(
+        tuple_width=float(schema.row_stride),
+        selected_bytes=float(selected),
+        selectivity=selectivity,
+        num_attributes=len(schema),
+        selected_attributes=k,
+    )
+
+
+def run(
+    num_rows: int = DEFAULT_EXECUTED_ROWS,
+    config: ExperimentConfig | None = None,
+    selectivity: float = SELECTIVITY,
+) -> ExperimentOutput:
+    """Compare predicted and measured column-over-row speedups."""
+    config = config or ExperimentConfig()
+    model = SpeedupModel(calibration=config.calibration)
+    table = FigureResult(
+        title="Predicted vs measured speedup (columns over rows)",
+        headers=[
+            "table",
+            "attrs",
+            "sel bytes",
+            "measured",
+            "predicted",
+            "rel err",
+        ],
+    )
+    series: dict[str, list[float]] = {"measured": [], "predicted": []}
+    prepared_by_name = {
+        "ORDERS": prepare_orders(num_rows),
+        "LINEITEM": prepare_lineitem(num_rows),
+    }
+    for table_name, pred_attr, ks in _CASES:
+        prepared = prepared_by_name[table_name]
+        predicate = prepared.predicate(pred_attr, selectivity)
+        for k in ks:
+            query = ScanQuery(
+                table_name,
+                select=prepared.attrs_prefix(k),
+                predicates=(predicate,),
+            )
+            row = measure_scan(prepared.row, query, config)
+            column = measure_scan(prepared.column, query, config)
+            measured = row.elapsed / column.elapsed
+            predicted = model.predict(_shape(prepared, k, selectivity))
+            rel_err = abs(predicted - measured) / measured
+            table.add_row(
+                table_name,
+                k,
+                column.selected_bytes,
+                round(measured, 2),
+                round(predicted, 2),
+                f"{rel_err:.0%}",
+            )
+            series["measured"].append(measured)
+            series["predicted"].append(predicted)
+    return ExperimentOutput(
+        name="Section 5: analytical-model validation",
+        tables=[table],
+        series=series,
+    )

@@ -1,0 +1,125 @@
+"""Extension — the bias of refraining from RLE (§2.2.1).
+
+The paper excludes run-length encoding "to keep our performance study
+unbiased" because it is better suited to column data.  This experiment
+measures the excluded benefit: the LINEITEM sort key under FOR-delta
+(Figure 5's choice) vs RLE, and a C-Store-style projection re-sorted on
+the three-valued ``L_RETURNFLAG``, where RLE collapses whole columns to
+a handful of runs.
+"""
+
+from __future__ import annotations
+
+from repro.compression.rle import RleCodec
+from repro.design.materialize import materialize_view
+from repro.engine.query import ScanQuery
+from repro.experiments.config import DEFAULT_EXECUTED_ROWS, ExperimentConfig
+from repro.experiments.report import ExperimentOutput, FigureResult
+from repro.experiments.runner import measure_scan
+from repro.experiments.workloads import prepare_lineitem
+from repro.storage.layout import Layout
+from repro.storage.loader import load_table
+
+
+def run(
+    num_rows: int = DEFAULT_EXECUTED_ROWS,
+    config: ExperimentConfig | None = None,
+) -> ExperimentOutput:
+    """Measure what the paper's RLE exclusion left on the table."""
+    config = config or ExperimentConfig()
+    prepared = prepare_lineitem(num_rows)
+    data = prepared.data
+
+    # --- sort-key column: FOR-delta (Figure 5) vs RLE -----------------------
+    from repro.data.tpch import apply_fig5_compression
+
+    fig5 = apply_fig5_compression(data)
+    rle_spec = RleCodec.spec_for_values(data.column("L_ORDERKEY"))
+    rle_schema = fig5.schema.with_codecs({"L_ORDERKEY": rle_spec})
+    rle_data = fig5.with_schema(
+        type(rle_schema)(name="LINEITEM-RLE", attributes=rle_schema.attributes)
+    )
+    fig5_table = load_table(fig5, Layout.COLUMN)
+    rle_table = load_table(rle_data, Layout.COLUMN)
+
+    key_bytes_fig5 = fig5_table.file_sizes_for(
+        ["L_ORDERKEY"], cardinality=config.cardinality
+    )["L_ORDERKEY"]
+    key_bytes_rle = rle_table.file_sizes_for(
+        ["L_ORDERKEY"], cardinality=config.cardinality
+    )["L_ORDERKEY"]
+
+    key_table = FigureResult(
+        title="L_ORDERKEY column at 60M rows (sorted key)",
+        headers=["scheme", "bits/value", "column bytes (MB)"],
+    )
+    delta_spec = fig5.schema.attribute("L_ORDERKEY").spec
+    key_table.add_row(
+        f"FOR-delta ({delta_spec.describe()})",
+        delta_spec.bits,
+        round(key_bytes_fig5 / 1e6, 1),
+    )
+    key_table.add_row(
+        f"RLE ({rle_spec.describe()}, runs of 1-7)",
+        round(RleCodec.effective_bits_per_value(data.column("L_ORDERKEY")), 1),
+        round(key_bytes_rle / 1e6, 1),
+    )
+
+    # --- C-Store projection: re-sorted on L_LINENUMBER -----------------------
+    # Sorting the projection on a low-cardinality attribute turns that
+    # column into a handful of runs — the case the paper excluded.
+    attrs = ("L_LINENUMBER", "L_QUANTITY", "L_EXTENDEDPRICE")
+    sort_key = "L_LINENUMBER"
+    plain_view = materialize_view(
+        data, attrs, name="V_PLAIN", sort_key=sort_key, compress=True
+    )
+    rle_view = materialize_view(
+        data, attrs, name="V_RLE", sort_key=sort_key, compress=True, use_rle=True
+    )
+    view_table = FigureResult(
+        title=f"Projection sorted on {sort_key}: per-column bytes at 60M rows",
+        headers=["column", "no-RLE scheme", "MB", "RLE scheme", "MB (RLE)"],
+    )
+    series_bytes = {"plain": [], "rle": []}
+    for attr in attrs:
+        plain_bytes = plain_view.table.file_sizes_for(
+            [attr], cardinality=config.cardinality
+        )[attr]
+        rle_bytes = rle_view.table.file_sizes_for(
+            [attr], cardinality=config.cardinality
+        )[attr]
+        view_table.add_row(
+            attr,
+            plain_view.table.schema.attribute(attr).spec.describe(),
+            round(plain_bytes / 1e6, 2),
+            rle_view.table.schema.attribute(attr).spec.describe(),
+            round(rle_bytes / 1e6, 2),
+        )
+        series_bytes["plain"].append(float(plain_bytes))
+        series_bytes["rle"].append(float(rle_bytes))
+
+    # Scanning the sorted column end to end.
+    query = ScanQuery("V", select=(sort_key,))
+    m_plain = measure_scan(plain_view.table, query, config)
+    m_rle = measure_scan(rle_view.table, query, config)
+    scan_table = FigureResult(
+        title=f"Full scan of the sorted {sort_key} column",
+        headers=["view", "bytes read (MB)", "elapsed (s)"],
+    )
+    scan_table.add_row(
+        "no RLE", round(m_plain.bytes_read / 1e6, 2), round(m_plain.elapsed, 3)
+    )
+    scan_table.add_row(
+        "RLE", round(m_rle.bytes_read / 1e6, 2), round(m_rle.elapsed, 3)
+    )
+
+    return ExperimentOutput(
+        name="Extension: the refrained-from RLE",
+        tables=[key_table, view_table, scan_table],
+        series={
+            "key_bytes": [float(key_bytes_fig5), float(key_bytes_rle)],
+            "sorted_column_plain": [series_bytes["plain"][0]],
+            "sorted_column_rle": [series_bytes["rle"][0]],
+            "scan_elapsed": [m_plain.elapsed, m_rle.elapsed],
+        },
+    )

@@ -1,0 +1,84 @@
+"""Section 2.1.1 extension — scan sharing for concurrent queries.
+
+Quantifies the circular-scan optimization the paper cites (Teradata,
+RedBrick, SQL Server, QPipe) on the simulated array: N queries scanning
+the same table, arriving together or staggered, served by one shared
+stream versus one stream each.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import DEFAULT_EXECUTED_ROWS, ExperimentConfig
+from repro.experiments.report import ExperimentOutput, FigureResult
+from repro.experiments.workloads import prepare_lineitem
+from repro.iosim.sharing import SharedScanQuery, SharedScanSimulator
+from repro.iosim.sim import DiskArraySim
+
+QUERY_COUNTS = (1, 2, 4, 8)
+
+
+def run(
+    num_rows: int = DEFAULT_EXECUTED_ROWS,
+    config: ExperimentConfig | None = None,
+) -> ExperimentOutput:
+    """Regenerate the scan-sharing comparison."""
+    config = config or ExperimentConfig()
+    prepared = prepare_lineitem(num_rows)
+    table_bytes = sum(
+        prepared.row.file_sizes_for([], cardinality=config.cardinality).values()
+    )
+    simulator = SharedScanSimulator(
+        table_bytes,
+        sim=DiskArraySim(config.calibration),
+        prefetch_depth=config.effective_prefetch_depth,
+    )
+
+    table = FigureResult(
+        title="Makespan (s) for N concurrent LINEITEM scans",
+        headers=["queries", "independent", "shared", "speedup"],
+    )
+    series: dict[str, list[float]] = {
+        "queries": [],
+        "independent": [],
+        "shared": [],
+        "speedup": [],
+    }
+    for count in QUERY_COUNTS:
+        queries = [SharedScanQuery(name=f"q{i}") for i in range(count)]
+        outcome = simulator.compare(queries)
+        table.add_row(
+            count,
+            round(outcome.independent_makespan, 1),
+            round(outcome.shared_makespan, 1),
+            round(outcome.speedup, 2),
+        )
+        series["queries"].append(count)
+        series["independent"].append(outcome.independent_makespan)
+        series["shared"].append(outcome.shared_makespan)
+        series["speedup"].append(outcome.speedup)
+
+    # Staggered arrivals: a late query rides the running scan.
+    staggered = simulator.compare(
+        [SharedScanQuery("first"), SharedScanQuery("late", arrival_time=20.0)]
+    )
+    stagger_table = FigureResult(
+        title="Staggered arrival (second query 20 s late)",
+        headers=["policy", "first done (s)", "late done (s)"],
+    )
+    stagger_table.add_row(
+        "independent",
+        round(staggered.independent_finish["first"], 1),
+        round(staggered.independent_finish["late"], 1),
+    )
+    stagger_table.add_row(
+        "shared",
+        round(staggered.shared_finish["first"], 1),
+        round(staggered.shared_finish["late"], 1),
+    )
+    series["staggered_shared_late"] = [staggered.shared_finish["late"]]
+    series["staggered_independent_late"] = [staggered.independent_finish["late"]]
+    return ExperimentOutput(
+        name="Extension: scan sharing",
+        tables=[table, stagger_table],
+        series=series,
+    )

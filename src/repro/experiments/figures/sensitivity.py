@@ -1,0 +1,101 @@
+"""Robustness — are the conclusions artifacts of the calibration?
+
+The per-event instruction counts in
+:mod:`repro.cpusim.calibration` are the reproduction's only free
+parameters.  This experiment perturbs each load-bearing constant by
+×0.5 and ×2 and re-checks the paper's two headline claims:
+
+1. Figure 6's crossover stays in the high-projectivity region (the
+   column store wins at 50 % projection of LINEITEM);
+2. Figure 2's corner sign holds (rows win lean tuples at low cpdb,
+   columns win wide tuples at high cpdb).
+
+If a claim flipped under a 2x miscalibration, the reproduction would
+be telling us about its constants, not about the architectures.
+"""
+
+from __future__ import annotations
+
+from repro.engine.query import ScanQuery
+from repro.experiments.config import DEFAULT_EXECUTED_ROWS, ExperimentConfig
+from repro.experiments.report import ExperimentOutput, FigureResult
+from repro.experiments.runner import measure_scan
+from repro.experiments.workloads import prepare_lineitem
+from repro.model.params import QueryShape
+from repro.model.speedup import SpeedupModel
+
+#: The constants that carry the CPU-side conclusions.
+PERTURBED_CONSTANTS = (
+    "inst_tuple_iter_row",
+    "inst_value_iter_col",
+    "inst_position",
+    "inst_predicate",
+    "sys_cycles_per_byte",
+    "random_miss_cycles",
+    "seek_seconds",
+)
+FACTORS = (0.5, 2.0)
+
+
+def _claims_hold(config: ExperimentConfig, prepared) -> tuple[bool, bool, float]:
+    """(claim 1, claim 2, half-projection speedup) under one calibration."""
+    predicate = prepared.predicate("L_PARTKEY", 0.10)
+    half = ScanQuery(
+        "LINEITEM", select=prepared.attrs_prefix(8), predicates=(predicate,)
+    )
+    row = measure_scan(prepared.row, half, config)
+    column = measure_scan(prepared.column, half, config)
+    speedup_half = row.elapsed / column.elapsed
+    claim1 = speedup_half > 1.0
+
+    model = SpeedupModel(calibration=config.calibration)
+    lean = QueryShape(4.0, 2.0, 0.10, 8, 4)
+    wide = QueryShape(36.0, 18.0, 0.10, 8, 4)
+    claim2 = model.predict(lean, cpdb=9) < model.predict(wide, cpdb=144)
+    return claim1, claim2, speedup_half
+
+
+def run(
+    num_rows: int = DEFAULT_EXECUTED_ROWS,
+    config: ExperimentConfig | None = None,
+) -> ExperimentOutput:
+    """Perturb each constant and re-check the headline claims."""
+    base = config or ExperimentConfig()
+    prepared = prepare_lineitem(num_rows)
+
+    table = FigureResult(
+        title="Headline claims under x0.5 / x2 calibration perturbations",
+        headers=[
+            "constant",
+            "factor",
+            "50%-projection speedup",
+            "columns win at 50%",
+            "Fig2 corner ordering",
+        ],
+    )
+    series: dict[str, list[float]] = {"claim1": [], "claim2": [], "speedup": []}
+
+    claim1, claim2, speedup = _claims_hold(base, prepared)
+    table.add_row("(baseline)", 1.0, round(speedup, 2), str(claim1), str(claim2))
+    series["claim1"].append(1.0 if claim1 else 0.0)
+    series["claim2"].append(1.0 if claim2 else 0.0)
+    series["speedup"].append(speedup)
+
+    for constant in PERTURBED_CONSTANTS:
+        for factor in FACTORS:
+            value = getattr(base.calibration, constant) * factor
+            calibration = base.calibration.with_overrides(**{constant: value})
+            perturbed = base.with_(calibration=calibration)
+            claim1, claim2, speedup = _claims_hold(perturbed, prepared)
+            table.add_row(
+                constant, factor, round(speedup, 2), str(claim1), str(claim2)
+            )
+            series["claim1"].append(1.0 if claim1 else 0.0)
+            series["claim2"].append(1.0 if claim2 else 0.0)
+            series["speedup"].append(speedup)
+
+    return ExperimentOutput(
+        name="Robustness: calibration sensitivity",
+        tables=[table],
+        series=series,
+    )

@@ -1,0 +1,201 @@
+"""Table 1 — expected performance trends, verified empirically.
+
+The paper's Table 1 states, per parameter, whether disk, memory, and
+CPU time go up or down.  This experiment measures each pair of
+configurations and checks the observed direction of every arrow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.query import ScanQuery
+from repro.experiments.config import (
+    DEFAULT_EXECUTED_ROWS,
+    CompetingTraffic,
+    ExperimentConfig,
+)
+from repro.experiments.report import ExperimentOutput, FigureResult
+from repro.experiments.runner import ScanMeasurement, measure_scan
+from repro.experiments.workloads import prepare_lineitem, prepare_orders
+
+
+@dataclass(frozen=True)
+class TrendCheck:
+    """One Table 1 row: a parameter change and its observed effect."""
+
+    parameter: str
+    expectation: str
+    disk_before: float
+    disk_after: float
+    mem_before: float
+    mem_after: float
+    cpu_before: float
+    cpu_after: float
+    holds: bool
+
+
+def _mem_lines(measurement: ScanMeasurement) -> float:
+    events = measurement.events
+    return float(events.mem_seq_lines + events.mem_rand_lines)
+
+
+def run(
+    num_rows: int = DEFAULT_EXECUTED_ROWS,
+    config: ExperimentConfig | None = None,
+) -> ExperimentOutput:
+    """Regenerate Table 1's trend directions."""
+    config = config or ExperimentConfig()
+    orders = prepare_orders(num_rows)
+    orders_z = prepare_orders(num_rows, compressed=True)
+    lineitem = prepare_lineitem(num_rows)
+    pred10 = orders.predicate("O_ORDERDATE", 0.10)
+    pred01 = orders.predicate("O_ORDERDATE", 0.001)
+
+    def orders_query(k: int, predicate) -> ScanQuery:
+        return ScanQuery(
+            "ORDERS", select=orders.attrs_prefix(k), predicates=(predicate,)
+        )
+
+    checks: list[TrendCheck] = []
+
+    def record(parameter, expectation, before, after, holds_fn):
+        checks.append(
+            TrendCheck(
+                parameter=parameter,
+                expectation=expectation,
+                disk_before=before.io_elapsed,
+                disk_after=after.io_elapsed,
+                mem_before=_mem_lines(before),
+                mem_after=_mem_lines(after),
+                cpu_before=before.cpu.user,
+                cpu_after=after.cpu.user,
+                holds=holds_fn(before, after),
+            )
+        )
+
+    # 1. Selecting more attributes (column store only): everything up.
+    few = measure_scan(orders.column, orders_query(2, pred10), config)
+    many = measure_scan(orders.column, orders_query(7, pred10), config)
+    record(
+        "selecting more attributes (column)",
+        "disk up, mem up, cpu up",
+        few,
+        many,
+        lambda b, a: a.io_elapsed > b.io_elapsed
+        and _mem_lines(a) > _mem_lines(b)
+        and a.cpu.user > b.cpu.user,
+    )
+
+    # 2. Decreased selectivity: CPU down (column store).
+    sel_hi = measure_scan(orders.column, orders_query(7, pred10), config)
+    sel_lo = measure_scan(orders.column, orders_query(7, pred01), config)
+    record(
+        "decreased selectivity (column)",
+        "cpu down, disk unchanged",
+        sel_hi,
+        sel_lo,
+        lambda b, a: a.cpu.user < b.cpu.user
+        and abs(a.io_elapsed - b.io_elapsed) < 1e-9,
+    )
+
+    # 3. Narrower tuples: disk, mem, and sys down (row store, full scan).
+    li_pred = lineitem.predicate("L_PARTKEY", 0.10)
+    wide = measure_scan(
+        lineitem.row,
+        ScanQuery(
+            "LINEITEM",
+            select=lineitem.attrs_prefix(len(lineitem.schema)),
+            predicates=(li_pred,),
+        ),
+        config,
+    )
+    narrow = measure_scan(orders.row, orders_query(7, pred10), config)
+    record(
+        "narrower tuples (row)",
+        "disk down, mem down, cpu(sys) down",
+        wide,
+        narrow,
+        lambda b, a: a.io_elapsed < b.io_elapsed
+        and _mem_lines(a) < _mem_lines(b)
+        and a.cpu.sys < b.cpu.sys,
+    )
+
+    # 4. Compression: disk and mem down, user CPU up (column store).
+    plain = measure_scan(orders.column, orders_query(7, pred10), config)
+    packed = measure_scan(
+        orders_z.column,
+        ScanQuery(
+            orders_z.schema.name,
+            select=orders_z.attrs_prefix(7),
+            predicates=(orders_z.predicate("O_ORDERDATE", 0.10),),
+        ),
+        config,
+    )
+    record(
+        "compression (column)",
+        "disk down, mem down, cpu(user compute) up",
+        plain,
+        packed,
+        lambda b, a: a.io_elapsed < b.io_elapsed
+        and _mem_lines(a) < _mem_lines(b)
+        and (a.cpu.usr_uop + a.cpu.usr_rest) > (b.cpu.usr_uop + b.cpu.usr_rest),
+    )
+
+    # 5. Larger prefetch: disk down (column store, multi-file scan).
+    small_pf = measure_scan(
+        orders.column, orders_query(7, pred10), config.with_(prefetch_depth=2)
+    )
+    large_pf = measure_scan(
+        orders.column, orders_query(7, pred10), config.with_(prefetch_depth=48)
+    )
+    record(
+        "larger prefetch (column)",
+        "disk down",
+        small_pf,
+        large_pf,
+        lambda b, a: a.io_elapsed < b.io_elapsed,
+    )
+
+    # 6. More disk traffic: disk up.
+    competitor_bytes = sum(
+        lineitem.row.file_sizes_for([], cardinality=config.cardinality).values()
+    )
+    busy = measure_scan(
+        orders.column,
+        orders_query(7, pred10),
+        config.with_(competing=CompetingTraffic(file_bytes=competitor_bytes)),
+    )
+    record(
+        "more disk traffic",
+        "disk up",
+        plain,
+        busy,
+        lambda b, a: a.io_elapsed > b.io_elapsed,
+    )
+
+    table = FigureResult(
+        title="Table 1: expected trends vs observed measurements",
+        headers=[
+            "parameter",
+            "expected",
+            "disk (s)",
+            "mem (lines)",
+            "cpu-user (s)",
+            "holds",
+        ],
+    )
+    for check in checks:
+        table.add_row(
+            check.parameter,
+            check.expectation,
+            f"{check.disk_before:.2f} -> {check.disk_after:.2f}",
+            f"{check.mem_before:.3g} -> {check.mem_after:.3g}",
+            f"{check.cpu_before:.2f} -> {check.cpu_after:.2f}",
+            "yes" if check.holds else "NO",
+        )
+    return ExperimentOutput(
+        name="Table 1: performance-trend verification",
+        tables=[table],
+        series={"holds": [1.0 if c.holds else 0.0 for c in checks]},
+    )

@@ -1,0 +1,79 @@
+"""Plain-text rendering of experiment results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """A simple aligned ASCII table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class FigureResult:
+    """One regenerated figure: a title, column headers, and data rows."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells for {len(self.headers)} headers"
+            )
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        parts = [self.title, format_table(self.headers, self.rows)]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def column(self, header: str) -> list[object]:
+        """All values of one column."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+
+@dataclass
+class ExperimentOutput:
+    """Everything one regenerated experiment produces.
+
+    ``tables`` render like the paper's figures; ``series`` holds the raw
+    number sequences the shape assertions (tests and benches) check.
+    """
+
+    name: str
+    tables: list[FigureResult] = field(default_factory=list)
+    series: dict[str, list[float]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        banner = f"=== {self.name} ==="
+        return "\n\n".join([banner] + [table.render() for table in self.tables])
+
+    def table(self, title: str) -> FigureResult:
+        for candidate in self.tables:
+            if candidate.title == title:
+                return candidate
+        raise KeyError(f"no table {title!r} in {self.name}")

@@ -1,0 +1,320 @@
+"""Execute + simulate one scan query and report paper-style numbers.
+
+The measurement pipeline:
+
+1. execute the query on the real (small) table, collecting work events;
+2. scale the event counts to the configured cardinality (all linear);
+3. run the discrete-event disk simulation with the *paper-scale* file
+   sizes, the configured prefetch depth, and any competing stream;
+4. charge the simulation's I/O counters (bytes, units, stream switches)
+   into the events and convert everything into the paper's CPU
+   breakdown;
+5. elapsed time is ``max(I/O, CPU)`` — the engine overlaps I/O with
+   computation through its AIO interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpusim.breakdown import CpuBreakdown
+from repro.cpusim.costmodel import CpuModel
+from repro.cpusim.events import CostEvents
+from repro.engine.context import ExecutionContext
+from repro.engine.executor import QueryResult, run_scan
+from repro.engine.plan import ColumnScannerKind
+from repro.engine.query import ScanQuery
+from repro.errors import SimulationError
+from repro.experiments.config import ExperimentConfig
+from repro.iosim.request import FileExtent
+from repro.iosim.sim import DiskArraySim, StreamStats
+from repro.iosim.streams import ScanStream, SubmissionPolicy
+from repro.iosim.traffic import competing_row_scan
+from repro.storage.layout import Layout
+from repro.storage.table import ColumnTable, PaxTable, RowTable, Table
+
+_VICTIM = "measured-query"
+
+
+@dataclass(frozen=True)
+class ScanMeasurement:
+    """One (query, layout, configuration) data point."""
+
+    layout: Layout
+    selected_attributes: int
+    selected_bytes: int          #: uncompressed bytes per tuple projected
+    bytes_read: int              #: paper-scale bytes the scan reads
+    io_elapsed: float            #: disk-sim wall time for the scan
+    io_stats: StreamStats
+    cpu: CpuBreakdown
+    events: CostEvents
+    result_tuples: int           #: qualifying tuples in the small run
+    executed_rows: int
+    cardinality: int
+
+    @property
+    def elapsed(self) -> float:
+        """Total elapsed time: I/O overlapped with computation."""
+        return max(self.io_elapsed, self.cpu.total)
+
+    @property
+    def cpu_seconds(self) -> float:
+        return self.cpu.total
+
+    @property
+    def io_bound(self) -> bool:
+        return self.io_elapsed >= self.cpu.total
+
+
+def _scan_policy(table: Table, config: ExperimentConfig) -> SubmissionPolicy:
+    if isinstance(table, (RowTable, PaxTable)):
+        return SubmissionPolicy.ROW
+    if config.slow_column_io:
+        return SubmissionPolicy.COLUMN_SLOW
+    return SubmissionPolicy.COLUMN_FAST
+
+
+def _scan_files(table: Table, query: ScanQuery, config: ExperimentConfig) -> list[FileExtent]:
+    """Paper-scale file extents the scan must read."""
+    if isinstance(table, (RowTable, PaxTable)):
+        sizes = table.file_sizes_for([], cardinality=config.cardinality)
+    elif isinstance(table, ColumnTable):
+        attrs = list(query.scan_attributes())
+        sizes = table.file_sizes_for(attrs, cardinality=config.cardinality)
+    else:
+        raise SimulationError(f"unsupported table type: {type(table).__name__}")
+    prefix = table.schema.name
+    return [
+        FileExtent(name=f"{prefix}.{name}", size_bytes=size)
+        for name, size in sizes.items()
+    ]
+
+
+@dataclass(frozen=True)
+class JoinMeasurement:
+    """One merge-join (query, layouts, configuration) data point."""
+
+    bytes_read: int
+    io_elapsed: float
+    cpu: CpuBreakdown
+    events: CostEvents
+    result_tuples: int
+    left_cardinality: int
+    right_cardinality: int
+
+    @property
+    def elapsed(self) -> float:
+        return max(self.io_elapsed, self.cpu.total)
+
+    @property
+    def io_bound(self) -> bool:
+        return self.io_elapsed >= self.cpu.total
+
+
+def measure_join(
+    left_table: Table,
+    left_query: ScanQuery,
+    right_table: Table,
+    right_query: ScanQuery,
+    left_key: str,
+    right_key: str,
+    config: ExperimentConfig | None = None,
+    column_scanner: ColumnScannerKind = ColumnScannerKind.PIPELINED,
+) -> JoinMeasurement:
+    """Measure a merge join of two tables under one configuration.
+
+    ``config.cardinality`` sets the *left* (parent) table's paper-scale
+    row count; the right side scales by the materialized ratio (TPC-H:
+    about four line items per order).  The disks serve both scans'
+    files through one stream, so the join's disk rate follows the
+    paper's weighted-file-rate equation (eq. 2).
+    """
+    from repro.engine.plan import merge_join_plan
+
+    config = config or ExperimentConfig()
+    if left_table.num_rows <= 0 or right_table.num_rows <= 0:
+        raise SimulationError("cannot measure a join over empty tables")
+
+    context = ExecutionContext(
+        calibration=config.calibration, block_size=config.block_size
+    )
+    plan = merge_join_plan(
+        context,
+        left_table,
+        left_query,
+        right_table,
+        right_query,
+        left_key=left_key,
+        right_key=right_key,
+        column_scanner=column_scanner,
+    )
+    from repro.engine.executor import execute_plan
+
+    result = execute_plan(plan)
+
+    left_cardinality = config.cardinality
+    ratio = right_table.num_rows / left_table.num_rows
+    right_cardinality = int(round(left_cardinality * ratio))
+    scale = left_cardinality / left_table.num_rows
+    events = context.events.scaled(scale)
+
+    sim = DiskArraySim(config.calibration)
+    files = _scan_files(
+        left_table, left_query, config.with_(cardinality=left_cardinality)
+    )
+    files += _scan_files(
+        right_table, right_query, config.with_(cardinality=right_cardinality)
+    )
+    any_columnar = isinstance(left_table, ColumnTable) or isinstance(
+        right_table, ColumnTable
+    )
+    policy = (
+        SubmissionPolicy.COLUMN_FAST if any_columnar else SubmissionPolicy.ROW
+    )
+    if len(files) == 1:
+        policy = SubmissionPolicy.ROW
+    victim = ScanStream(
+        name=_VICTIM,
+        files=files,
+        unit_bytes=sim.unit_bytes,
+        prefetch_depth=config.effective_prefetch_depth,
+        policy=policy,
+    )
+    stats = sim.run([victim])[_VICTIM]
+
+    events.bytes_read = stats.bytes_read
+    events.io_requests = stats.units
+    events.stream_switches = stats.switches
+    cpu = CpuModel(config.calibration).breakdown(events)
+    return JoinMeasurement(
+        bytes_read=stats.bytes_read,
+        io_elapsed=stats.elapsed,
+        cpu=cpu,
+        events=events,
+        result_tuples=result.num_tuples,
+        left_cardinality=left_cardinality,
+        right_cardinality=right_cardinality,
+    )
+
+
+def measure_aggregate(
+    table: Table,
+    query: ScanQuery,
+    spec,
+    config: ExperimentConfig | None = None,
+    sort_based: bool = False,
+    column_scanner: ColumnScannerKind = ColumnScannerKind.PIPELINED,
+) -> ScanMeasurement:
+    """Measure an aggregation over a scan (same pipeline as a scan).
+
+    The aggregate's accumulator updates, group probes, and (for the
+    sort-based variant) sort comparisons all land in the CPU events, so
+    this is how the §5 claim about high-cost operators above the scan
+    is checked.
+    """
+    from repro.engine.executor import execute_plan
+    from repro.engine.plan import aggregate_plan
+
+    config = config or ExperimentConfig()
+    if table.num_rows <= 0:
+        raise SimulationError("cannot measure an aggregate over an empty table")
+    context = ExecutionContext(
+        calibration=config.calibration, block_size=config.block_size
+    )
+    plan = aggregate_plan(
+        context, table, query, spec, sort_based=sort_based,
+        column_scanner=column_scanner,
+    )
+    result = execute_plan(plan)
+    scale = config.cardinality / table.num_rows
+    events = context.events.scaled(scale)
+
+    sim = DiskArraySim(config.calibration)
+    victim = ScanStream(
+        name=_VICTIM,
+        files=_scan_files(table, query, config),
+        unit_bytes=sim.unit_bytes,
+        prefetch_depth=config.effective_prefetch_depth,
+        policy=_scan_policy(table, config),
+    )
+    stats = sim.run([victim])[_VICTIM]
+    events.bytes_read = stats.bytes_read
+    events.io_requests = stats.units
+    events.stream_switches = stats.switches
+    cpu = CpuModel(config.calibration).breakdown(events)
+    return ScanMeasurement(
+        layout=table.layout,
+        selected_attributes=len(query.select),
+        selected_bytes=query.selected_width(table.schema),
+        bytes_read=stats.bytes_read,
+        io_elapsed=stats.elapsed,
+        io_stats=stats,
+        cpu=cpu,
+        events=events,
+        result_tuples=result.num_tuples,
+        executed_rows=table.num_rows,
+        cardinality=config.cardinality,
+    )
+
+
+def measure_scan(
+    table: Table,
+    query: ScanQuery,
+    config: ExperimentConfig | None = None,
+    column_scanner: ColumnScannerKind = ColumnScannerKind.PIPELINED,
+) -> ScanMeasurement:
+    """Measure one scan query under one configuration."""
+    config = config or ExperimentConfig()
+    if table.num_rows <= 0:
+        raise SimulationError("cannot measure a scan over an empty table")
+
+    # 1-2: real execution, scaled events.
+    context = ExecutionContext(
+        calibration=config.calibration, block_size=config.block_size
+    )
+    result: QueryResult = run_scan(table, query, context, column_scanner)
+    scale = config.cardinality / table.num_rows
+    events = context.events.scaled(scale)
+
+    # 3: paper-scale disk simulation.
+    sim = DiskArraySim(config.calibration)
+    depth = config.effective_prefetch_depth
+    victim = ScanStream(
+        name=_VICTIM,
+        files=_scan_files(table, query, config),
+        unit_bytes=sim.unit_bytes,
+        prefetch_depth=depth,
+        policy=_scan_policy(table, config),
+    )
+    streams = [victim]
+    if config.competing is not None:
+        comp_depth = config.competing.prefetch_depth or depth
+        streams.append(
+            competing_row_scan(
+                file_bytes=config.competing.file_bytes,
+                unit_bytes=sim.unit_bytes,
+                prefetch_depth=comp_depth,
+                start_time=config.competing.start_time,
+            )
+        )
+    stats = sim.run(streams)[_VICTIM]
+
+    # 4: fold the I/O counters into the CPU events.
+    events.bytes_read = stats.bytes_read
+    events.io_requests = stats.units
+    events.stream_switches = stats.switches
+    cpu = CpuModel(config.calibration).breakdown(events)
+
+    return ScanMeasurement(
+        layout=table.layout,
+        selected_attributes=len(query.select),
+        selected_bytes=query.selected_width(table.schema),
+        bytes_read=stats.bytes_read,
+        io_elapsed=stats.elapsed,
+        io_stats=stats,
+        cpu=cpu,
+        events=events,
+        result_tuples=result.num_tuples,
+        executed_rows=table.num_rows,
+        cardinality=config.cardinality,
+    )

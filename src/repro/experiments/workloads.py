@@ -1,0 +1,116 @@
+"""Prepared experiment workloads: generated tables loaded in both layouts.
+
+Tables are cached per (kind, rows, seed, compressed) because every
+figure sweeps many queries over the same data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.base import CodecKind, CodecSpec
+from repro.compression.frame import ForCodec
+from repro.data.generator import GeneratedTable
+from repro.data.tpch import (
+    apply_fig5_compression,
+    generate_lineitem,
+    generate_orders,
+)
+from repro.engine.predicate import Predicate, predicate_for_selectivity
+from repro.errors import SchemaError
+from repro.storage.layout import Layout
+from repro.storage.loader import load_table
+from repro.storage.table import ColumnTable, RowTable
+from repro.types.schema import TableSchema
+
+
+@dataclass(frozen=True)
+class PreparedTable:
+    """One generated table materialized in both physical layouts."""
+
+    data: GeneratedTable
+    row: RowTable
+    column: ColumnTable
+
+    @property
+    def schema(self) -> TableSchema:
+        return self.data.schema
+
+    def predicate(self, attr: str, selectivity: float) -> Predicate:
+        """A selectivity-calibrated predicate on one attribute."""
+        return predicate_for_selectivity(
+            attr, self.data.column(attr), selectivity
+        )
+
+    def attrs_prefix(self, count: int) -> tuple[str, ...]:
+        """The first ``count`` attributes in schema order (Figure 5)."""
+        names = self.schema.attribute_names
+        if not 1 <= count <= len(names):
+            raise SchemaError(f"cannot select {count} of {len(names)} attributes")
+        return names[:count]
+
+
+_CACHE: dict[tuple, PreparedTable] = {}
+
+
+def _prepare(data: GeneratedTable, key: tuple) -> PreparedTable:
+    if key not in _CACHE:
+        _CACHE[key] = PreparedTable(
+            data=data,
+            row=load_table(data, Layout.ROW),
+            column=load_table(data, Layout.COLUMN),
+        )
+    return _CACHE[key]
+
+
+def prepare_lineitem(
+    num_rows: int, seed: int = 1, compressed: bool = False
+) -> PreparedTable:
+    """LINEITEM (or LINEITEM-Z) in both layouts."""
+    key = ("lineitem", num_rows, seed, compressed)
+    if key in _CACHE:
+        return _CACHE[key]
+    data = generate_lineitem(num_rows, seed=seed)
+    if compressed:
+        data = apply_fig5_compression(data)
+    return _prepare(data, key)
+
+
+def prepare_orders(
+    num_rows: int,
+    seed: int = 1,
+    compressed: bool = False,
+    orderkey_plain_for: bool = False,
+) -> PreparedTable:
+    """ORDERS (or ORDERS-Z) in both layouts.
+
+    ``orderkey_plain_for`` switches ``O_ORDERKEY`` from Figure 5's
+    FOR-delta to plain FOR — the Figure 9 comparison.  Plain FOR needs
+    more bits (differences from the page base instead of the previous
+    value: 16 instead of 8 for sorted keys) but decodes values
+    individually.
+    """
+    key = ("orders", num_rows, seed, compressed, orderkey_plain_for)
+    if key in _CACHE:
+        return _CACHE[key]
+    data = generate_orders(num_rows, seed=seed)
+    if compressed:
+        data = apply_fig5_compression(data)
+        if orderkey_plain_for:
+            spec = ForCodec.spec_for_values(data.column("O_ORDERKEY"), 4096)
+            # The paper stores plain-FOR order keys in 16 bits.
+            spec = CodecSpec(
+                kind=CodecKind.FOR, bits=max(spec.bits, 16), zigzag=spec.zigzag
+            )
+            schema = data.schema.with_codecs({"O_ORDERKEY": spec})
+            data = data.with_schema(
+                TableSchema(name="ORDERS-Z-FOR", attributes=schema.attributes)
+            )
+    elif orderkey_plain_for:
+        raise SchemaError("orderkey_plain_for requires compressed=True")
+    return _prepare(data, key)
+
+
+def clear_cache() -> None:
+    """Drop all prepared tables (tests that care about memory)."""
+    _CACHE.clear()

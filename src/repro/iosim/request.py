@@ -1,0 +1,50 @@
+"""I/O request and file-extent primitives."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class FileExtent:
+    """One file to be scanned: a name and its size in bytes.
+
+    Files are striped across the whole array, so the simulator needs no
+    per-disk placement — a transfer of one I/O unit engages every disk
+    in parallel.
+    """
+
+    name: str
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise SimulationError(f"negative file size: {self.size_bytes}")
+
+
+@dataclass
+class IoRequest:
+    """One array-wide I/O unit in flight.
+
+    ``submit_time``/``seq`` define the FIFO service order; the
+    controller fills in ``start_time``/``finish_time`` when served.
+    """
+
+    stream_name: str
+    file_name: str
+    offset: int
+    size_bytes: int
+    submit_time: float
+    seq: int
+    window_id: int
+    start_time: float = field(default=0.0)
+    finish_time: float = field(default=0.0)
+
+    @property
+    def end_offset(self) -> int:
+        return self.offset + self.size_bytes
+
+    def sort_key(self) -> tuple[float, int]:
+        return (self.submit_time, self.seq)

@@ -1,0 +1,30 @@
+"""Competing-traffic helpers (Section 4.5).
+
+The paper's competing load is a separate process running a row-system
+scan over a different file (LINEITEM), with its prefetch size matched to
+the system under measurement so the controller sees a balanced load.
+"""
+
+from __future__ import annotations
+
+from repro.iosim.request import FileExtent
+from repro.iosim.streams import ScanStream, SubmissionPolicy
+
+
+def competing_row_scan(
+    file_bytes: int,
+    unit_bytes: int,
+    prefetch_depth: int,
+    name: str = "competitor",
+    file_name: str = "LINEITEM.competing",
+    start_time: float = 0.0,
+) -> ScanStream:
+    """A row-scan stream usable as background traffic."""
+    return ScanStream(
+        name=name,
+        files=[FileExtent(name=file_name, size_bytes=file_bytes)],
+        unit_bytes=unit_bytes,
+        prefetch_depth=prefetch_depth,
+        policy=SubmissionPolicy.ROW,
+        start_time=start_time,
+    )

@@ -1,0 +1,40 @@
+"""Fill model parameters from measured runs (the paper's approach).
+
+Figure 2 is "constructed from the speedup formula, filling up actual
+CPU rates from our experimental section": run a query on the engine,
+then turn its event counts into the per-tuple ``I`` values of Table 2.
+"""
+
+from __future__ import annotations
+
+from repro.cpusim.costmodel import CpuModel
+from repro.cpusim.events import CostEvents
+from repro.errors import CalibrationError
+from repro.model.params import ScannerParams
+
+
+def scanner_params_from_measurement(
+    events: CostEvents,
+    model: CpuModel,
+    num_tuples: int,
+) -> ScannerParams:
+    """Per-tuple scanner costs extracted from one measured scan.
+
+    ``i_user`` comes from the counted user instructions, ``i_system``
+    from the kernel-side cycles, and memory bytes per tuple from the
+    counted L2 line traffic — exactly the quantities the paper reads
+    off its performance counters.
+    """
+    if num_tuples <= 0:
+        raise CalibrationError(f"num_tuples must be positive: {num_tuples}")
+    c = model.calibration
+    i_user = model.user_instructions(events) / num_tuples
+    i_system = model.sys_seconds(events) * c.clock_hz / num_tuples
+    mem_bytes = (
+        (events.mem_seq_lines + events.mem_rand_lines)
+        * c.l2_line_bytes
+        / num_tuples
+    )
+    return ScannerParams(
+        i_user=i_user, i_system=i_system, mem_bytes_per_tuple=mem_bytes
+    )

@@ -1,0 +1,99 @@
+"""Model parameters (the paper's Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpusim.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.errors import CalibrationError
+
+
+@dataclass(frozen=True)
+class HardwareParams:
+    """The configuration knobs of Table 2.
+
+    ``cpdb`` folds CPUs, disks, and competing traffic into one number:
+    aggregate CPU cycles that elapse while the disks sequentially
+    deliver one byte.  The paper's machine (one 3.2 GHz CPU over three
+    60 MB/s disks) is rated at 18; one disk gives 54; 1995-2005 trends
+    move a single-CPU/single-disk ratio from 10 to 30.
+    """
+
+    cpdb: float
+    #: Bytes the memory bus delivers to L2 per CPU cycle (Pentium 4:
+    #: one 128-byte line per 128 cycles = 1.0).
+    mem_bytes_per_cycle: float = 1.0
+    #: Clock only matters for absolute (not relative) rates.
+    clock_hz: float = 3.2e9
+
+    def __post_init__(self) -> None:
+        if self.cpdb <= 0:
+            raise CalibrationError(f"cpdb must be positive: {self.cpdb}")
+        if self.mem_bytes_per_cycle <= 0:
+            raise CalibrationError(
+                f"memory bandwidth must be positive: {self.mem_bytes_per_cycle}"
+            )
+
+    @property
+    def disk_bandwidth(self) -> float:
+        """Implied aggregate disk bandwidth, bytes/sec."""
+        return self.clock_hz / self.cpdb
+
+    @classmethod
+    def from_calibration(
+        cls, calibration: Calibration = DEFAULT_CALIBRATION
+    ) -> "HardwareParams":
+        """The paper testbed's parameters."""
+        return cls(
+            cpdb=calibration.cpdb,
+            mem_bytes_per_cycle=calibration.l2_line_bytes / calibration.seq_line_cycles,
+            clock_hz=calibration.clock_hz,
+        )
+
+
+@dataclass(frozen=True)
+class ScannerParams:
+    """Per-tuple scanner costs (the ``I`` entries of Table 2).
+
+    ``i_user``/``i_system`` are instructions (≈ cycles, per eq. 7) per
+    input tuple; ``mem_bytes_per_tuple`` is how many bytes stream
+    through the memory bus per tuple (full width for a row scan, the
+    selected widths for a column scan).
+    """
+
+    i_user: float
+    i_system: float
+    mem_bytes_per_tuple: float
+
+    def __post_init__(self) -> None:
+        if self.i_user < 0 or self.i_system < 0 or self.mem_bytes_per_tuple < 0:
+            raise CalibrationError(f"negative scanner cost: {self}")
+
+
+@dataclass(frozen=True)
+class QueryShape:
+    """The workload knobs of the speedup formula for one table."""
+
+    tuple_width: float          #: stored row-tuple width, bytes
+    selected_bytes: float       #: bytes per tuple the column scan reads
+    selectivity: float          #: fraction of qualifying tuples
+    num_attributes: int         #: attributes in the relation
+    selected_attributes: int    #: attributes the query accesses
+
+    def __post_init__(self) -> None:
+        if not 0 < self.selected_bytes <= self.tuple_width:
+            raise CalibrationError(
+                f"selected bytes {self.selected_bytes} outside "
+                f"(0, {self.tuple_width}]"
+            )
+        if not 0.0 <= self.selectivity <= 1.0:
+            raise CalibrationError(f"bad selectivity: {self.selectivity}")
+        if not 1 <= self.selected_attributes <= self.num_attributes:
+            raise CalibrationError(
+                f"selected {self.selected_attributes} of {self.num_attributes} attrs"
+            )
+
+    @property
+    def projection_factor(self) -> float:
+        """The paper's ``f``: row width over bytes the query needs."""
+        return self.tuple_width / self.selected_bytes

@@ -1,0 +1,96 @@
+"""Rate equations 1-8 of Section 5.
+
+All rates are tuples/sec.  A query's rate is
+``R = MIN(R_DISK, R_CPU)`` (eq. 1); disk rates come from file sizes and
+bandwidth (eqs. 2-4); CPU rates compose like parallel resistors
+(eqs. 5-6) from per-operator rates (eq. 7), with scanners adding a
+memory-bandwidth bound (eq. 8).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import CalibrationError
+from repro.model.params import HardwareParams, ScannerParams
+
+
+def parallel_rate(*rates: float) -> float:
+    """Equations 5-6: cascaded operators behave like parallel resistors."""
+    if not rates:
+        raise CalibrationError("parallel_rate needs at least one rate")
+    inverse = 0.0
+    for rate in rates:
+        if rate <= 0:
+            return 0.0
+        if math.isinf(rate):
+            continue
+        inverse += 1.0 / rate
+    if inverse == 0.0:
+        return math.inf
+    return 1.0 / inverse
+
+
+def operator_rate(clock_hz: float, instructions_per_tuple: float) -> float:
+    """Equation 7: ``Op = clock / I_op`` (≈ one cycle per instruction)."""
+    if instructions_per_tuple <= 0:
+        return math.inf
+    return clock_hz / instructions_per_tuple
+
+
+def scanner_rate(hardware: HardwareParams, scanner: ScannerParams) -> float:
+    """Equation 8: system ∥ MIN(user compute, memory delivery)."""
+    sys_rate = operator_rate(hardware.clock_hz, scanner.i_system)
+    user_rate = operator_rate(hardware.clock_hz, scanner.i_user)
+    if scanner.mem_bytes_per_tuple > 0:
+        mem_rate = (
+            hardware.clock_hz
+            * hardware.mem_bytes_per_cycle
+            / scanner.mem_bytes_per_tuple
+        )
+        user_rate = min(user_rate, mem_rate)
+    return parallel_rate(sys_rate, user_rate)
+
+
+def cpu_rate(
+    hardware: HardwareParams,
+    scanners: list[ScannerParams],
+    operator_instructions: list[float] = (),
+) -> float:
+    """Equation 6: all scanners and relational operators composed."""
+    rates = [scanner_rate(hardware, scanner) for scanner in scanners]
+    rates += [
+        operator_rate(hardware.clock_hz, instructions)
+        for instructions in operator_instructions
+    ]
+    return parallel_rate(*rates)
+
+
+def disk_rate_row(
+    hardware: HardwareParams,
+    files: list[tuple[int, float]],
+) -> float:
+    """Equations 2-3 for row files: ``(N, tuple_width)`` per file."""
+    total_bytes = sum(n * width for n, width in files)
+    if total_bytes <= 0:
+        raise CalibrationError("disk rate of an empty file set")
+    total_tuples = sum(n for n, _width in files)
+    return hardware.disk_bandwidth * total_tuples / total_bytes
+
+
+def disk_rate_column(
+    hardware: HardwareParams,
+    files: list[tuple[int, float, float]],
+) -> float:
+    """Equation 4: ``(N, tuple_width, f)`` per file, ``f`` = width over
+    the bytes the query needs from that relation."""
+    total_bytes = sum(n * width for n, width, _f in files)
+    if total_bytes <= 0:
+        raise CalibrationError("disk rate of an empty file set")
+    weighted = sum(n * f for n, _width, f in files)
+    return hardware.disk_bandwidth * weighted / total_bytes
+
+
+def query_rate(disk: float, cpu: float) -> float:
+    """Equation 1."""
+    return min(disk, cpu)

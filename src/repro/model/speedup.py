@@ -1,0 +1,187 @@
+"""The column-over-row speedup formula and its helpers.
+
+The paper fills the formula's per-operator instruction counts "from our
+experimental section"; :func:`analytic_scanner_params` derives the same
+counts from the engine's calibration constants, and
+:mod:`repro.model.calibrate` can instead extract them from a measured
+run.
+"""
+
+from __future__ import annotations
+
+from repro.cpusim.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.engine.blocks import DEFAULT_BLOCK_SIZE
+from repro.errors import CalibrationError
+from repro.model.params import HardwareParams, QueryShape, ScannerParams
+from repro.model.rates import (
+    cpu_rate,
+    disk_rate_column,
+    disk_rate_row,
+    query_rate,
+)
+from repro.storage.layout import Layout
+from repro.storage.page import DEFAULT_PAGE_SIZE
+
+
+def analytic_scanner_params(
+    shape: QueryShape,
+    layout: Layout,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    page_size: int = DEFAULT_PAGE_SIZE,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> ScannerParams:
+    """Per-tuple scanner costs implied by the engine's cost constants."""
+    c = calibration
+    sel = shape.selectivity
+    k = shape.selected_attributes
+    avg_width = shape.selected_bytes / k
+
+    if layout is Layout.ROW:
+        i_user = (
+            c.inst_tuple_iter_row
+            + c.inst_predicate
+            + avg_width * c.inst_predicate_byte
+            + sel * k * c.inst_copy_value
+            + sel * shape.selected_bytes * c.inst_copy_byte
+            + c.inst_page_overhead * shape.tuple_width / page_size
+            + c.inst_block_overhead * sel / block_size
+        )
+        i_system = (
+            c.sys_cycles_per_byte * shape.tuple_width
+            + c.sys_cycles_per_request
+            * shape.tuple_width
+            / (c.io_unit_bytes * c.num_disks)
+        )
+        mem_bytes = shape.tuple_width
+    elif layout is Layout.COLUMN:
+        first_width = avg_width
+        i_user = (
+            c.inst_value_iter_col
+            + c.inst_predicate
+            + first_width * c.inst_predicate_byte
+            + sel * (c.inst_copy_value + (first_width + 4) * c.inst_copy_byte)
+            + (k - 1)
+            * sel
+            * (c.inst_position + c.inst_copy_value + avg_width * c.inst_copy_byte)
+            + c.inst_page_overhead * shape.selected_bytes / page_size
+            + c.inst_block_overhead * k * sel / block_size
+        )
+        i_system = (
+            c.sys_cycles_per_byte * shape.selected_bytes
+            + c.sys_cycles_per_request
+            * shape.selected_bytes
+            / (c.io_unit_bytes * c.num_disks)
+        )
+        # The first column streams densely; later columns stream in
+        # full only when the position list is dense enough for the
+        # prefetcher (the engine's 50 % line-coverage rule, which an
+        # average-width column crosses at roughly line/width the
+        # selectivity).
+        touched_fraction = min(
+            1.0, sel * calibration.l2_line_bytes / max(avg_width, 1e-9)
+        )
+        mem_bytes = first_width + (shape.selected_bytes - first_width) * touched_fraction
+    else:
+        raise CalibrationError(f"no analytic params for layout {layout}")
+    return ScannerParams(
+        i_user=i_user, i_system=i_system, mem_bytes_per_tuple=mem_bytes
+    )
+
+
+def speedup(
+    hardware: HardwareParams,
+    shape: QueryShape,
+    row_scanner: ScannerParams,
+    column_scanner: ScannerParams,
+    operator_instructions: list[float] = (),
+) -> float:
+    """The Section 5 speedup of columns over rows for one query."""
+    n = 1_000_000  # cancels out; any cardinality works
+    disk_row = disk_rate_row(hardware, [(n, shape.tuple_width)])
+    disk_col = disk_rate_column(
+        hardware, [(n, shape.tuple_width, shape.projection_factor)]
+    )
+    cpu_row = cpu_rate(hardware, [row_scanner], operator_instructions)
+    cpu_col = cpu_rate(hardware, [column_scanner], operator_instructions)
+    rate_row = query_rate(disk_row, cpu_row)
+    rate_col = query_rate(disk_col, cpu_col)
+    if rate_row <= 0:
+        raise CalibrationError("row rate is zero; check scanner parameters")
+    return rate_col / rate_row
+
+
+class SpeedupModel:
+    """Convenience wrapper: calibration constants → speedup predictions."""
+
+    def __init__(
+        self,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        operator_instructions: list[float] = (),
+    ):
+        self.calibration = calibration
+        self.operator_instructions = list(operator_instructions)
+
+    def predict(self, shape: QueryShape, cpdb: float | None = None) -> float:
+        """Predicted column-over-row speedup for one query shape."""
+        hardware = HardwareParams(
+            cpdb=cpdb if cpdb is not None else self.calibration.cpdb,
+            mem_bytes_per_cycle=(
+                self.calibration.l2_line_bytes / self.calibration.seq_line_cycles
+            ),
+            clock_hz=self.calibration.clock_hz,
+        )
+        row_params = analytic_scanner_params(shape, Layout.ROW, self.calibration)
+        col_params = analytic_scanner_params(shape, Layout.COLUMN, self.calibration)
+        return speedup(
+            hardware, shape, row_params, col_params, self.operator_instructions
+        )
+
+    def rates(self, shape: QueryShape, cpdb: float | None = None) -> dict[str, float]:
+        """Disk and CPU rates per layout (tuples/sec), for diagnostics."""
+        hardware = HardwareParams(
+            cpdb=cpdb if cpdb is not None else self.calibration.cpdb,
+            mem_bytes_per_cycle=(
+                self.calibration.l2_line_bytes / self.calibration.seq_line_cycles
+            ),
+            clock_hz=self.calibration.clock_hz,
+        )
+        n = 1_000_000
+        row_params = analytic_scanner_params(shape, Layout.ROW, self.calibration)
+        col_params = analytic_scanner_params(shape, Layout.COLUMN, self.calibration)
+        return {
+            "disk_row": disk_rate_row(hardware, [(n, shape.tuple_width)]),
+            "disk_column": disk_rate_column(
+                hardware, [(n, shape.tuple_width, shape.projection_factor)]
+            ),
+            "cpu_row": cpu_rate(hardware, [row_params], self.operator_instructions),
+            "cpu_column": cpu_rate(
+                hardware, [col_params], self.operator_instructions
+            ),
+        }
+
+
+def crossover_projectivity(
+    model: SpeedupModel,
+    tuple_width: float,
+    num_attributes: int,
+    selectivity: float,
+    cpdb: float | None = None,
+) -> float | None:
+    """Smallest projected fraction where rows beat columns, or ``None``.
+
+    Sweeps the number of selected attributes (equal-width columns) and
+    returns ``selected_bytes / tuple_width`` at the first point where the
+    predicted speedup drops below 1.
+    """
+    for k in range(1, num_attributes + 1):
+        selected = tuple_width * k / num_attributes
+        shape = QueryShape(
+            tuple_width=tuple_width,
+            selected_bytes=selected,
+            selectivity=selectivity,
+            num_attributes=num_attributes,
+            selected_attributes=k,
+        )
+        if model.predict(shape, cpdb=cpdb) < 1.0:
+            return selected / tuple_width
+    return None

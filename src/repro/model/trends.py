@@ -1,0 +1,82 @@
+"""Hardware-trend projection (Section 5 / conclusions).
+
+The paper observes that for a single CPU over a single disk, cpdb grew
+from about 10 in 1995 to about 30 in 2005, expects multicore to
+accelerate the growth, and concludes that "current architectural trends
+suggest column stores ... will become an even more attractive
+architecture with time".  This module encodes that trajectory and lets
+the speedup model be evaluated along it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import CalibrationError
+from repro.model.params import QueryShape
+from repro.model.speedup import SpeedupModel
+
+#: The paper's reference points: single CPU over a single disk.
+CPDB_1995 = 10.0
+CPDB_2005 = 30.0
+
+#: Implied annual growth over the paper's decade (~11.6 %/year).
+ANNUAL_GROWTH = (CPDB_2005 / CPDB_1995) ** (1.0 / 10.0)
+
+
+def projected_cpdb(
+    year: int,
+    multicore_factor: float = 1.0,
+    num_disks: int = 1,
+) -> float:
+    """Projected single-box cpdb for a calendar year.
+
+    Extrapolates the paper's 1995-2005 exponential; ``multicore_factor``
+    multiplies the cycle supply (the paper expects cpdb "to grow faster"
+    with multicore chips), ``num_disks`` divides it.
+    """
+    if year < 1990:
+        raise CalibrationError(f"trend starts in the 1990s, got {year}")
+    if multicore_factor <= 0 or num_disks <= 0:
+        raise CalibrationError("factors must be positive")
+    base = CPDB_1995 * ANNUAL_GROWTH ** (year - 1995)
+    return base * multicore_factor / num_disks
+
+
+@dataclass(frozen=True)
+class TrendPoint:
+    """Predicted speedup at one projected year."""
+
+    year: int
+    cpdb: float
+    speedup: float
+
+
+def speedup_trajectory(
+    shape: QueryShape,
+    years: list[int],
+    model: SpeedupModel | None = None,
+    multicore_factor: float = 1.0,
+    num_disks: int = 1,
+) -> list[TrendPoint]:
+    """The column-over-row speedup along the hardware trend."""
+    model = model or SpeedupModel()
+    points = []
+    for year in years:
+        cpdb = projected_cpdb(
+            year, multicore_factor=multicore_factor, num_disks=num_disks
+        )
+        points.append(
+            TrendPoint(year=year, cpdb=cpdb, speedup=model.predict(shape, cpdb=cpdb))
+        )
+    return points
+
+
+def columns_more_attractive_over_time(points: list[TrendPoint]) -> bool:
+    """The conclusion's claim, as a checkable predicate."""
+    if len(points) < 2:
+        raise CalibrationError("need at least two trend points")
+    return all(
+        b.speedup >= a.speedup - 1e-9 for a, b in zip(points, points[1:])
+    )

@@ -1,0 +1,59 @@
+"""Read-optimized disk storage: dense-packed pages and paged files.
+
+Implements the Section 2.2.1 design: no slotted pages — a page is an
+array of values (whole tuples for row storage, single-attribute values
+for column storage) with an entry count at the head and page info (page
+id, compression state) in a fixed-offset trailer.  Pages are stored
+adjacently in a file; a column table uses one file per column.
+"""
+
+from repro.storage.catalog import Catalog
+from repro.storage.layout import Layout
+from repro.storage.loader import BulkLoader, load_table
+from repro.storage.page import (
+    DEFAULT_PAGE_SIZE,
+    PAGE_HEADER_BYTES,
+    PAGE_TRAILER_BYTES,
+    ColumnPageCodec,
+    RowPageCodec,
+    page_payload_bytes,
+)
+from repro.storage.pagefile import PagedFile
+from repro.storage.persist import open_table, save_table
+from repro.storage.rowz import CompressedRowPageCodec, schema_is_compressed
+from repro.storage.pax import PaxPageCodec
+from repro.storage.table import (
+    ColumnFile,
+    ColumnTable,
+    PaxTable,
+    RowTable,
+    Table,
+    make_row_page_codec,
+)
+from repro.storage.write_store import WriteOptimizedStore
+
+__all__ = [
+    "Catalog",
+    "CompressedRowPageCodec",
+    "schema_is_compressed",
+    "make_row_page_codec",
+    "PaxTable",
+    "PaxPageCodec",
+    "Layout",
+    "DEFAULT_PAGE_SIZE",
+    "PAGE_HEADER_BYTES",
+    "PAGE_TRAILER_BYTES",
+    "page_payload_bytes",
+    "RowPageCodec",
+    "ColumnPageCodec",
+    "PagedFile",
+    "save_table",
+    "open_table",
+    "Table",
+    "RowTable",
+    "ColumnTable",
+    "ColumnFile",
+    "BulkLoader",
+    "load_table",
+    "WriteOptimizedStore",
+]

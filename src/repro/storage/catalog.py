@@ -1,0 +1,51 @@
+"""A minimal catalog: named tables, each possibly in both layouts.
+
+The paper's engine uses precompiled queries against known tables; the
+catalog gives examples and the experiment harness a single place to
+register loaded tables and look them up by name and layout.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+from repro.storage.layout import Layout
+from repro.storage.table import Table
+
+
+class Catalog:
+    """Registry of loaded tables keyed by (name, layout)."""
+
+    def __init__(self) -> None:
+        self._tables: dict[tuple[str, Layout], Table] = {}
+
+    def register(self, table: Table) -> None:
+        """Register a table under its schema name and layout."""
+        key = (table.schema.name, table.layout)
+        if key in self._tables:
+            raise StorageError(
+                f"table {table.schema.name!r} already registered as {table.layout}"
+            )
+        self._tables[key] = table
+
+    def replace(self, table: Table) -> None:
+        """Register or overwrite (used after a write-store merge)."""
+        self._tables[(table.schema.name, table.layout)] = table
+
+    def get(self, name: str, layout: Layout) -> Table:
+        """Look up a table; raises when absent."""
+        try:
+            return self._tables[(name, layout)]
+        except KeyError as exc:
+            raise StorageError(
+                f"no table {name!r} with layout {layout} in catalog"
+            ) from exc
+
+    def has(self, name: str, layout: Layout) -> bool:
+        return (name, layout) in self._tables
+
+    def names(self) -> list[str]:
+        """Sorted distinct table names."""
+        return sorted({name for name, _layout in self._tables})
+
+    def __len__(self) -> int:
+        return len(self._tables)

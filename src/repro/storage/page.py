@@ -1,0 +1,188 @@
+"""Dense-packed page format (Figure 3).
+
+Layout of every page, row or column::
+
+    +--------+--------------------------- payload ----------------+-------+
+    | count  | values, tightly packed                  ...padding | info  |
+    | uint32 |                                                    | 16 B  |
+    +--------+----------------------------------------------------+-------+
+
+``count`` is the number of entries on the page.  The *page info* trailer
+sits at a fixed offset from the end and holds the page id (which, with a
+value's position on the page, gives the Record ID) and the codec's
+per-page state (the FOR base value).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.compression.base import Codec, PageCodecState
+from repro.errors import PageFormatError, StorageError
+from repro.types.schema import TableSchema
+
+DEFAULT_PAGE_SIZE = 4096
+PAGE_HEADER_BYTES = 4
+PAGE_TRAILER_BYTES = 16
+
+_HEADER = struct.Struct("<I")
+_TRAILER = struct.Struct("<qq")  # page_id, codec base value
+
+
+def page_payload_bytes(page_size: int) -> int:
+    """Payload capacity of one page."""
+    payload = page_size - PAGE_HEADER_BYTES - PAGE_TRAILER_BYTES
+    if payload <= 0:
+        raise StorageError(f"page size {page_size} too small for header/trailer")
+    return payload
+
+
+def _assemble(page_size: int, count: int, payload: bytes, page_id: int, base: int) -> bytes:
+    capacity = page_payload_bytes(page_size)
+    if len(payload) > capacity:
+        raise PageFormatError(
+            f"payload of {len(payload)} bytes exceeds page capacity {capacity}"
+        )
+    padding = b"\x00" * (capacity - len(payload))
+    return _HEADER.pack(count) + payload + padding + _TRAILER.pack(page_id, base)
+
+
+def _disassemble(page: bytes, page_size: int) -> tuple[int, bytes, int, int]:
+    if len(page) != page_size:
+        raise PageFormatError(f"page has {len(page)} bytes, expected {page_size}")
+    (count,) = _HEADER.unpack_from(page, 0)
+    page_id, base = _TRAILER.unpack_from(page, page_size - PAGE_TRAILER_BYTES)
+    payload = page[PAGE_HEADER_BYTES : page_size - PAGE_TRAILER_BYTES]
+    return count, payload, page_id, base
+
+
+class RowPageCodec:
+    """Encodes/decodes row pages: whole tuples at a fixed stride.
+
+    Tuples are stored back to back at :attr:`TableSchema.row_stride`
+    (tuple width padded for alignment), each attribute at its fixed
+    offset — the classic NSM layout without a slot directory.
+    """
+
+    def __init__(self, schema: TableSchema, page_size: int = DEFAULT_PAGE_SIZE):
+        self.schema = schema
+        self.page_size = page_size
+        self._stride = schema.row_stride
+        fields = {}
+        offset = 0
+        for attr in schema:
+            disk_dtype = "<i4" if attr.attr_type.is_integer else f"S{attr.width}"
+            fields[attr.name] = (disk_dtype, offset)
+            offset += attr.width
+        self._disk_dtype = np.dtype(
+            {
+                "names": list(fields),
+                "formats": [fmt for fmt, _ in fields.values()],
+                "offsets": [off for _, off in fields.values()],
+                "itemsize": self._stride,
+            }
+        )
+        self.tuples_per_page = page_payload_bytes(page_size) // self._stride
+        if self.tuples_per_page <= 0:
+            raise StorageError(
+                f"row stride {self._stride} exceeds page payload "
+                f"({page_payload_bytes(page_size)} bytes)"
+            )
+
+    @property
+    def stride(self) -> int:
+        """On-disk bytes per tuple."""
+        return self._stride
+
+    def encode(self, page_id: int, columns: dict[str, np.ndarray]) -> bytes:
+        """Build one page from column slices (all the same length)."""
+        counts = {len(col) for col in columns.values()}
+        if len(counts) != 1:
+            raise PageFormatError(f"ragged column slices: {sorted(counts)}")
+        count = counts.pop()
+        if count > self.tuples_per_page:
+            raise PageFormatError(
+                f"{count} tuples exceed page capacity {self.tuples_per_page}"
+            )
+        rows = np.zeros(count, dtype=self._disk_dtype)
+        for attr in self.schema:
+            rows[attr.name] = columns[attr.name]
+        return _assemble(self.page_size, count, rows.tobytes(), page_id, 0)
+
+    def decode(self, page: bytes) -> tuple[int, np.ndarray]:
+        """Parse a page into ``(page_id, structured row array)``."""
+        count, payload, page_id, _base = _disassemble(page, self.page_size)
+        if count > self.tuples_per_page:
+            raise PageFormatError(
+                f"page claims {count} tuples, capacity is {self.tuples_per_page}"
+            )
+        rows = np.frombuffer(payload, dtype=self._disk_dtype, count=count)
+        return page_id, rows
+
+    def column_from_rows(self, rows: np.ndarray, name: str) -> np.ndarray:
+        """Extract one attribute column (as its in-memory dtype)."""
+        attr = self.schema.attribute(name)
+        column = rows[name]
+        if attr.attr_type.is_integer:
+            return column.astype(np.int64)
+        return np.ascontiguousarray(column)
+
+    def decode_columns(self, page: bytes) -> tuple[int, int, dict[str, np.ndarray]]:
+        """Parse a page into ``(page_id, count, columns dict)``.
+
+        Common interface with the compressed row codec
+        (:class:`repro.storage.rowz.CompressedRowPageCodec`).
+        """
+        page_id, rows = self.decode(page)
+        columns = {
+            attr.name: self.column_from_rows(rows, attr.name)
+            for attr in self.schema
+        }
+        return page_id, len(rows), columns
+
+
+class ColumnPageCodec:
+    """Encodes/decodes column pages: single-attribute values via a codec."""
+
+    def __init__(self, codec: Codec, page_size: int = DEFAULT_PAGE_SIZE):
+        self.codec = codec
+        self.page_size = page_size
+        self.values_per_page = codec.values_per_page(page_payload_bytes(page_size))
+
+    def encode(self, page_id: int, values: np.ndarray) -> bytes:
+        """Build one page from a slice of the column."""
+        if len(values) > self.values_per_page:
+            raise PageFormatError(
+                f"{len(values)} values exceed page capacity {self.values_per_page}"
+            )
+        payload, state = self.codec.encode_page(values)
+        return _assemble(self.page_size, len(values), payload, page_id, state.base)
+
+    def decode(self, page: bytes) -> tuple[int, np.ndarray]:
+        """Parse a page into ``(page_id, value array)`` (full decode)."""
+        count, payload, page_id, base = _disassemble(page, self.page_size)
+        values = self.codec.decode_page(payload, count, PageCodecState(base=base))
+        return page_id, values
+
+    def encode_prefix(self, page_id: int, values: np.ndarray) -> tuple[bytes, int]:
+        """Fill one page with a data-dependent number of leading values.
+
+        Used for variable-capacity codecs (RLE); returns the page bytes
+        and how many values were consumed.
+        """
+        payload, state, consumed = self.codec.encode_prefix(
+            values, page_payload_bytes(self.page_size)
+        )
+        page = _assemble(self.page_size, consumed, payload, page_id, state.base)
+        return page, consumed
+
+    def decode_raw(self, page: bytes) -> tuple[int, int, bytes, PageCodecState]:
+        """Parse a page without decoding values.
+
+        Returns ``(page_id, count, payload, state)`` so scanners can do
+        selective decodes via :meth:`Codec.decode_positions`.
+        """
+        count, payload, page_id, base = _disassemble(page, self.page_size)
+        return page_id, count, payload, PageCodecState(base=base)

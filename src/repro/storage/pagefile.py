@@ -1,0 +1,65 @@
+"""A file of adjacent pages.
+
+Pages are stored back to back; the storage layer holds the real bytes
+in memory (the I/O *timing* is the job of :mod:`repro.iosim`, which only
+needs sizes and access patterns, never the bytes themselves).
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+from repro.storage.page import DEFAULT_PAGE_SIZE
+
+
+class PagedFile:
+    """An append-only sequence of fixed-size pages."""
+
+    def __init__(self, name: str, page_size: int = DEFAULT_PAGE_SIZE):
+        if page_size <= 0:
+            raise StorageError(f"page size must be positive: {page_size}")
+        self.name = name
+        self.page_size = page_size
+        self._data = bytearray()
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._data) // self.page_size
+
+    @property
+    def size_bytes(self) -> int:
+        """Total file size in bytes."""
+        return len(self._data)
+
+    def append_page(self, page: bytes) -> int:
+        """Append one page; returns its page index."""
+        if len(page) != self.page_size:
+            raise StorageError(
+                f"page of {len(page)} bytes does not match page size "
+                f"{self.page_size} for file {self.name!r}"
+            )
+        index = self.num_pages
+        self._data.extend(page)
+        return index
+
+    def read_page(self, index: int) -> bytes:
+        """Read one page by index."""
+        if not 0 <= index < self.num_pages:
+            raise StorageError(
+                f"page {index} out of range [0, {self.num_pages}) in {self.name!r}"
+            )
+        start = index * self.page_size
+        return bytes(self._data[start : start + self.page_size])
+
+    def iter_pages(self, start: int = 0):
+        """Yield pages in file order, from ``start``."""
+        for index in range(start, self.num_pages):
+            yield self.read_page(index)
+
+    def __len__(self) -> int:
+        return self.num_pages
+
+    def __repr__(self) -> str:
+        return (
+            f"PagedFile({self.name!r}, pages={self.num_pages}, "
+            f"bytes={self.size_bytes})"
+        )

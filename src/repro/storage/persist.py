@@ -1,0 +1,230 @@
+"""Persisting tables to real files on disk.
+
+The simulator never needs real files — sizes and access patterns are
+enough — but a usable library should survive a process restart.  This
+module serializes a loaded table (any layout) into a directory:
+
+* ``meta.json`` — schema, per-column codec specs (including the
+  dictionary values), layout, row count, page size, page directories;
+* one binary page file per storage file, byte-for-byte the same pages
+  the in-memory :class:`~repro.storage.pagefile.PagedFile` holds.
+
+``save_table`` / ``open_table`` round-trip every layout and codec.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pathlib
+
+import numpy as np
+
+from repro.compression.base import CodecKind, CodecSpec
+from repro.errors import StorageError
+from repro.storage.layout import Layout
+from repro.storage.pagefile import PagedFile
+from repro.storage.table import (
+    ColumnFile,
+    ColumnTable,
+    PaxTable,
+    RowTable,
+    Table,
+    build_column_file,
+)
+from repro.types.datatypes import AttributeType, FixedTextType, IntType
+from repro.types.schema import Attribute, TableSchema
+
+_META_NAME = "meta.json"
+_FORMAT_VERSION = 1
+
+
+# --- schema (de)serialization ------------------------------------------------
+
+
+def _type_to_json(attr_type: AttributeType) -> dict:
+    if isinstance(attr_type, IntType):
+        return {"kind": "int"}
+    if isinstance(attr_type, FixedTextType):
+        return {"kind": "text", "width": attr_type.width}
+    raise StorageError(f"unknown attribute type: {attr_type!r}")
+
+
+def _type_from_json(payload: dict) -> AttributeType:
+    if payload["kind"] == "int":
+        return IntType()
+    if payload["kind"] == "text":
+        return FixedTextType(payload["width"])
+    raise StorageError(f"unknown attribute type in metadata: {payload}")
+
+
+def _dictionary_to_json(dictionary: tuple) -> list:
+    out = []
+    for value in dictionary:
+        if isinstance(value, (bytes, np.bytes_)):
+            out.append({"b64": base64.b64encode(bytes(value)).decode("ascii")})
+        else:
+            out.append({"int": int(value)})
+    return out
+
+
+def _dictionary_from_json(payload: list) -> tuple:
+    out = []
+    for entry in payload:
+        if "b64" in entry:
+            out.append(base64.b64decode(entry["b64"]))
+        else:
+            out.append(int(entry["int"]))
+    return tuple(out)
+
+
+def _spec_to_json(spec: CodecSpec) -> dict:
+    return {
+        "kind": spec.kind.value,
+        "bits": spec.bits,
+        "zigzag": spec.zigzag,
+        "run_bits": spec.run_bits,
+        "dictionary": _dictionary_to_json(spec.dictionary),
+    }
+
+
+def _spec_from_json(payload: dict) -> CodecSpec:
+    return CodecSpec(
+        kind=CodecKind(payload["kind"]),
+        bits=payload["bits"],
+        zigzag=payload["zigzag"],
+        run_bits=payload["run_bits"],
+        dictionary=_dictionary_from_json(payload["dictionary"]),
+    )
+
+
+def _schema_to_json(schema: TableSchema) -> dict:
+    return {
+        "name": schema.name,
+        "attributes": [
+            {
+                "name": attr.name,
+                "type": _type_to_json(attr.attr_type),
+                "codec": (
+                    _spec_to_json(attr.codec_spec)
+                    if attr.codec_spec is not None
+                    else None
+                ),
+            }
+            for attr in schema
+        ],
+    }
+
+
+def _schema_from_json(payload: dict) -> TableSchema:
+    attributes = tuple(
+        Attribute(
+            name=entry["name"],
+            attr_type=_type_from_json(entry["type"]),
+            codec_spec=(
+                _spec_from_json(entry["codec"]) if entry["codec"] else None
+            ),
+        )
+        for entry in payload["attributes"]
+    )
+    return TableSchema(name=payload["name"], attributes=attributes)
+
+
+# --- file (de)serialization -----------------------------------------------------
+
+
+def _write_paged_file(file: PagedFile, path: pathlib.Path) -> None:
+    with open(path, "wb") as handle:
+        for page in file.iter_pages():
+            handle.write(page)
+
+
+def _read_paged_file(path: pathlib.Path, name: str, page_size: int) -> PagedFile:
+    file = PagedFile(name, page_size=page_size)
+    data = path.read_bytes()
+    if len(data) % page_size != 0:
+        raise StorageError(
+            f"{path} has {len(data)} bytes, not a multiple of page size "
+            f"{page_size}"
+        )
+    for start in range(0, len(data), page_size):
+        file.append_page(data[start : start + page_size])
+    return file
+
+
+# --- public API -----------------------------------------------------------------
+
+
+def save_table(table: Table, directory: str | pathlib.Path) -> pathlib.Path:
+    """Persist a loaded table into ``directory`` (created if missing)."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    meta: dict = {
+        "format_version": _FORMAT_VERSION,
+        "layout": table.layout.value,
+        "num_rows": table.num_rows,
+        "page_size": table.page_size,
+        "schema": _schema_to_json(table.schema),
+    }
+    if isinstance(table, (RowTable, PaxTable)):
+        _write_paged_file(table.file, directory / "table.pages")
+    elif isinstance(table, ColumnTable):
+        columns_meta = {}
+        for name, column_file in table.column_files.items():
+            _write_paged_file(column_file.file, directory / f"{name}.pages")
+            columns_meta[name] = {
+                "first_rows": (
+                    column_file.first_rows.tolist()
+                    if column_file.first_rows is not None
+                    else None
+                ),
+                "effective_bits": column_file.effective_bits,
+            }
+        meta["columns"] = columns_meta
+    else:
+        raise StorageError(f"unsupported table type: {type(table).__name__}")
+    (directory / _META_NAME).write_text(
+        json.dumps(meta, indent=2), encoding="utf-8"
+    )
+    return directory
+
+
+def open_table(directory: str | pathlib.Path) -> Table:
+    """Load a table previously written by :func:`save_table`."""
+    directory = pathlib.Path(directory)
+    meta_path = directory / _META_NAME
+    if not meta_path.exists():
+        raise StorageError(f"no {_META_NAME} in {directory}")
+    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported on-disk format version: {meta.get('format_version')}"
+        )
+    schema = _schema_from_json(meta["schema"])
+    layout = Layout(meta["layout"])
+    page_size = meta["page_size"]
+    num_rows = meta["num_rows"]
+
+    if layout is Layout.ROW:
+        file = _read_paged_file(directory / "table.pages", schema.name, page_size)
+        return RowTable(schema, file, num_rows, page_size=page_size)
+    if layout is Layout.PAX:
+        file = _read_paged_file(directory / "table.pages", schema.name, page_size)
+        return PaxTable(schema, file, num_rows, page_size=page_size)
+
+    column_files: dict[str, ColumnFile] = {}
+    for attr in schema:
+        column_file = build_column_file(schema, attr.name, page_size)
+        column_file.file = _read_paged_file(
+            directory / f"{attr.name}.pages",
+            f"{schema.name}.{attr.name}",
+            page_size,
+        )
+        column_meta = meta["columns"][attr.name]
+        if column_meta["first_rows"] is not None:
+            column_file.first_rows = np.asarray(
+                column_meta["first_rows"], dtype=np.int64
+            )
+        column_file.effective_bits = column_meta["effective_bits"]
+        column_files[attr.name] = column_file
+    return ColumnTable(schema, column_files, num_rows, page_size=page_size)

@@ -1,0 +1,145 @@
+"""Compressed row pages.
+
+The paper's three schemes "yield the same compression ratio for both row
+and column data": a compressed *row* tuple is the concatenation of each
+attribute's fixed-width packed value, padded to a whole byte per tuple
+(ORDERS-Z: 92 bits → 12 bytes).  This codec lays tuples out exactly so.
+
+Per-page codec state (the FOR base value of each frame-coded attribute)
+is stored in the page-info area: eight bytes per frame attribute at the
+tail of the payload region, in schema order.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.compression.base import Codec, CodecKind, PageCodecState
+from repro.compression.registry import build_codec
+from repro.errors import PageFormatError, StorageError
+from repro.storage.page import (
+    DEFAULT_PAGE_SIZE,
+    PAGE_TRAILER_BYTES,
+    _assemble,
+    _disassemble,
+    page_payload_bytes,
+)
+from repro.types.schema import TableSchema
+
+_BASE_SLOT = struct.Struct("<q")
+
+_FRAME_KINDS = (CodecKind.FOR, CodecKind.FOR_DELTA)
+
+
+def schema_is_compressed(schema: TableSchema) -> bool:
+    """True when any attribute carries a non-identity codec spec."""
+    return any(attr.spec.is_compressed for attr in schema)
+
+
+class CompressedRowPageCodec:
+    """Row pages whose tuples are bit-packed per Figure 5 widths."""
+
+    def __init__(self, schema: TableSchema, page_size: int = DEFAULT_PAGE_SIZE):
+        self.schema = schema
+        self.page_size = page_size
+        self._codecs: list[Codec] = [
+            build_codec(attr.spec, attr.attr_type) for attr in schema
+        ]
+        self._bits = [codec.bits_per_value for codec in self._codecs]
+        self._bit_offsets = np.cumsum([0] + self._bits).tolist()
+        self.row_bits = sum(self._bits)
+        # One tuple occupies a whole number of bytes (ORDERS-Z: 12).
+        self._stride = (self.row_bits + 7) // 8
+        self._frame_attrs = [
+            index
+            for index, attr in enumerate(schema)
+            if attr.spec.kind in _FRAME_KINDS
+        ]
+        base_area = _BASE_SLOT.size * len(self._frame_attrs)
+        payload = page_payload_bytes(page_size) - base_area
+        if payload <= 0:
+            raise StorageError(
+                f"page size {page_size} cannot hold {len(self._frame_attrs)} "
+                "frame base slots"
+            )
+        self._payload_bytes = payload
+        self.tuples_per_page = payload // self._stride
+        if self.tuples_per_page <= 0:
+            raise StorageError(
+                f"compressed row stride {self._stride} exceeds page payload"
+            )
+
+    @property
+    def stride(self) -> int:
+        """On-disk bytes per compressed tuple."""
+        return self._stride
+
+    def encode(self, page_id: int, columns: dict[str, np.ndarray]) -> bytes:
+        """Build one page from column slices (all the same length)."""
+        counts = {len(col) for col in columns.values()}
+        if len(counts) != 1:
+            raise PageFormatError(f"ragged column slices: {sorted(counts)}")
+        count = counts.pop()
+        if count > self.tuples_per_page:
+            raise PageFormatError(
+                f"{count} tuples exceed page capacity {self.tuples_per_page}"
+            )
+        bit_matrix = np.zeros((count, self._stride * 8), dtype=np.uint8)
+        bases = []
+        for index, attr in enumerate(self.schema):
+            codec = self._codecs[index]
+            payload, state = codec.encode_page(columns[attr.name])
+            if index in self._frame_attrs:
+                bases.append(state.base)
+            bits = codec.bits_per_value
+            attr_bits = np.unpackbits(
+                np.frombuffer(payload, dtype=np.uint8),
+                bitorder="little",
+                count=count * bits,
+            ).reshape(count, bits)
+            start = self._bit_offsets[index]
+            bit_matrix[:, start : start + bits] = attr_bits
+        packed = np.packbits(bit_matrix.reshape(-1), bitorder="little").tobytes()
+        base_area = b"".join(_BASE_SLOT.pack(base) for base in bases)
+        payload_area = packed.ljust(self._payload_bytes, b"\x00") + base_area
+        return _assemble(self.page_size, count, payload_area, page_id, 0)
+
+    def _split(self, page: bytes) -> tuple[int, int, np.ndarray, list[int]]:
+        count, payload, page_id, _base = _disassemble(page, self.page_size)
+        if count > self.tuples_per_page:
+            raise PageFormatError(
+                f"page claims {count} tuples, capacity is {self.tuples_per_page}"
+            )
+        base_area = payload[self._payload_bytes :]
+        bases = [
+            _BASE_SLOT.unpack_from(base_area, i * _BASE_SLOT.size)[0]
+            for i in range(len(self._frame_attrs))
+        ]
+        total_bits = count * self._stride * 8
+        bit_matrix = np.unpackbits(
+            np.frombuffer(payload[: self._payload_bytes], dtype=np.uint8),
+            bitorder="little",
+            count=total_bits,
+        ).reshape(count, self._stride * 8)
+        return page_id, count, bit_matrix, bases
+
+    def decode_columns(self, page: bytes) -> tuple[int, int, dict[str, np.ndarray]]:
+        """Parse a page into ``(page_id, count, columns dict)``."""
+        page_id, count, bit_matrix, bases = self._split(page)
+        columns = {}
+        base_iter = iter(bases)
+        for index, attr in enumerate(self.schema):
+            codec = self._codecs[index]
+            bits = codec.bits_per_value
+            start = self._bit_offsets[index]
+            attr_bits = bit_matrix[:, start : start + bits]
+            attr_payload = np.packbits(
+                attr_bits.reshape(-1), bitorder="little"
+            ).tobytes()
+            state = PageCodecState(
+                base=next(base_iter) if index in self._frame_attrs else 0
+            )
+            columns[attr.name] = codec.decode_page(attr_payload, count, state)
+        return page_id, count, columns

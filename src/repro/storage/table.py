@@ -1,0 +1,274 @@
+"""Row and column tables: schema + paged files.
+
+A :class:`RowTable` stores the whole relation in one file of row pages;
+a :class:`ColumnTable` stores one file of column pages per attribute
+(Figure 3).  Both expose the file-size arithmetic the I/O simulator
+needs to model paper-scale scans without materializing paper-scale data.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.registry import build_codec
+from repro.errors import SchemaError, StorageError
+from repro.storage.layout import Layout
+from repro.storage.page import DEFAULT_PAGE_SIZE, ColumnPageCodec, RowPageCodec
+from repro.storage.pagefile import PagedFile
+from repro.storage.rowz import CompressedRowPageCodec, schema_is_compressed
+from repro.types.schema import TableSchema
+
+
+def make_row_page_codec(
+    schema: TableSchema, page_size: int = DEFAULT_PAGE_SIZE
+) -> "RowPageCodec | CompressedRowPageCodec":
+    """Pick the plain or bit-packed row page codec for a schema."""
+    if schema_is_compressed(schema):
+        return CompressedRowPageCodec(schema, page_size)
+    return RowPageCodec(schema, page_size)
+
+
+class Table(abc.ABC):
+    """Common interface for the two physical layouts."""
+
+    def __init__(self, schema: TableSchema, num_rows: int, page_size: int):
+        self.schema = schema
+        self.num_rows = num_rows
+        self.page_size = page_size
+
+    @property
+    @abc.abstractmethod
+    def layout(self) -> Layout:
+        """Physical layout of this table."""
+
+    @property
+    @abc.abstractmethod
+    def total_bytes(self) -> int:
+        """Total on-disk size of the materialized table."""
+
+    @abc.abstractmethod
+    def file_sizes_for(self, attrs: list[str], cardinality: int | None = None) -> dict[str, int]:
+        """Bytes that a scan selecting ``attrs`` must read, per file.
+
+        ``cardinality`` overrides the materialized row count so the I/O
+        simulator can be driven at paper scale (60 M rows) while the
+        engine executes on a small materialized table.
+        """
+
+    @abc.abstractmethod
+    def read_column(self, name: str) -> np.ndarray:
+        """Materialize one full column (testing/verification path)."""
+
+    def columns_dict(self) -> dict[str, np.ndarray]:
+        """Materialize every column (testing/verification path)."""
+        return {name: self.read_column(name) for name in self.schema.attribute_names}
+
+
+class RowTable(Table):
+    """One file of dense row pages."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        file: PagedFile,
+        num_rows: int,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ):
+        super().__init__(schema, num_rows, page_size)
+        self.file = file
+        self.page_codec = make_row_page_codec(schema, page_size)
+
+    @property
+    def layout(self) -> Layout:
+        return Layout.ROW
+
+    @property
+    def total_bytes(self) -> int:
+        return self.file.size_bytes
+
+    @property
+    def row_stride(self) -> int:
+        return self.page_codec.stride
+
+    def pages_for_rows(self, cardinality: int) -> int:
+        return math.ceil(cardinality / self.page_codec.tuples_per_page)
+
+    def file_sizes_for(self, attrs: list[str], cardinality: int | None = None) -> dict[str, int]:
+        for name in attrs:
+            self.schema.attribute(name)  # raises SchemaError when unknown
+        rows = self.num_rows if cardinality is None else cardinality
+        return {self.schema.name: self.pages_for_rows(rows) * self.page_size}
+
+    def read_column(self, name: str) -> np.ndarray:
+        self.schema.attribute(name)
+        chunks = []
+        for page in self.file.iter_pages():
+            _page_id, _count, columns = self.page_codec.decode_columns(page)
+            chunks.append(columns[name])
+        if not chunks:
+            attr = self.schema.attribute(name)
+            return np.zeros(0, dtype=attr.attr_type.numpy_dtype())
+        return np.concatenate(chunks)
+
+
+@dataclass
+class ColumnFile:
+    """One column's paged file plus its page codec.
+
+    Variable-capacity codecs (RLE) carry a *page directory*:
+    ``first_rows[i]`` is the global row id of page ``i``'s first value,
+    so positional lookups stay O(log pages) regardless of how the data
+    compressed.
+    """
+
+    name: str
+    file: PagedFile
+    page_codec: ColumnPageCodec
+    first_rows: np.ndarray | None = None
+    #: Measured average stored bits per value (variable codecs only);
+    #: drives paper-scale size extrapolation.
+    effective_bits: float | None = None
+
+    @property
+    def values_per_page(self) -> int:
+        return self.page_codec.values_per_page
+
+    @property
+    def is_variable(self) -> bool:
+        return self.page_codec.codec.is_variable
+
+    def page_of_positions(self, positions: np.ndarray) -> np.ndarray:
+        """Page index containing each global row position."""
+        if self.first_rows is None:
+            return positions // self.values_per_page
+        return (
+            np.searchsorted(self.first_rows, positions, side="right") - 1
+        ).astype(np.int64)
+
+    def first_row_of_page(self, page_id: int) -> int:
+        """Global row id of a page's first value."""
+        if self.first_rows is None:
+            return page_id * self.values_per_page
+        return int(self.first_rows[page_id])
+
+
+class ColumnTable(Table):
+    """One file of dense column pages per attribute."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        column_files: dict[str, ColumnFile],
+        num_rows: int,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ):
+        super().__init__(schema, num_rows, page_size)
+        missing = set(schema.attribute_names) - set(column_files)
+        if missing:
+            raise StorageError(f"missing column files: {sorted(missing)}")
+        self.column_files = column_files
+
+    @property
+    def layout(self) -> Layout:
+        return Layout.COLUMN
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(cf.file.size_bytes for cf in self.column_files.values())
+
+    def column_file(self, name: str) -> ColumnFile:
+        if name not in self.column_files:
+            raise SchemaError(f"no column {name!r} in table {self.schema.name!r}")
+        return self.column_files[name]
+
+    def pages_for_rows(self, name: str, cardinality: int) -> int:
+        column_file = self.column_file(name)
+        if column_file.is_variable and column_file.effective_bits is not None:
+            # Variable-capacity codecs: extrapolate from the measured
+            # stored-bits-per-value density.
+            from repro.storage.page import page_payload_bytes
+
+            payload_bits = page_payload_bytes(self.page_size) * 8
+            total_bits = cardinality * column_file.effective_bits
+            return max(1, math.ceil(total_bits / payload_bits))
+        return math.ceil(cardinality / column_file.values_per_page)
+
+    def file_sizes_for(self, attrs: list[str], cardinality: int | None = None) -> dict[str, int]:
+        rows = self.num_rows if cardinality is None else cardinality
+        return {
+            name: self.pages_for_rows(name, rows) * self.page_size
+            for name in attrs
+        }
+
+    def read_column(self, name: str) -> np.ndarray:
+        column_file = self.column_file(name)
+        chunks = []
+        for page in column_file.file.iter_pages():
+            _page_id, values = column_file.page_codec.decode(page)
+            chunks.append(values)
+        if not chunks:
+            attr = self.schema.attribute(name)
+            return np.zeros(0, dtype=attr.attr_type.numpy_dtype())
+        return np.concatenate(chunks)
+
+
+class PaxTable(Table):
+    """One file of PAX pages: row-store I/O, minipage-grouped contents."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        file: PagedFile,
+        num_rows: int,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ):
+        super().__init__(schema, num_rows, page_size)
+        self.file = file
+        from repro.storage.pax import PaxPageCodec
+
+        self.page_codec = PaxPageCodec(schema, page_size)
+
+    @property
+    def layout(self) -> Layout:
+        return Layout.PAX
+
+    @property
+    def total_bytes(self) -> int:
+        return self.file.size_bytes
+
+    def pages_for_rows(self, cardinality: int) -> int:
+        return math.ceil(cardinality / self.page_codec.tuples_per_page)
+
+    def file_sizes_for(self, attrs: list[str], cardinality: int | None = None) -> dict[str, int]:
+        # PAX does not change what a page contains, so a scan reads the
+        # whole file no matter the projection — exactly like a row store.
+        for name in attrs:
+            self.schema.attribute(name)
+        rows = self.num_rows if cardinality is None else cardinality
+        return {self.schema.name: self.pages_for_rows(rows) * self.page_size}
+
+    def read_column(self, name: str) -> np.ndarray:
+        self.schema.attribute(name)
+        chunks = []
+        for page in self.file.iter_pages():
+            _page_id, _count, values = self.page_codec.decode_attribute(page, name)
+            chunks.append(values)
+        if not chunks:
+            attr = self.schema.attribute(name)
+            return np.zeros(0, dtype=attr.attr_type.numpy_dtype())
+        return np.concatenate(chunks)
+
+
+def build_column_file(
+    schema: TableSchema, name: str, page_size: int = DEFAULT_PAGE_SIZE
+) -> ColumnFile:
+    """An empty column file with its codec built from the schema spec."""
+    attr = schema.attribute(name)
+    codec = build_codec(attr.spec, attr.attr_type)
+    page_codec = ColumnPageCodec(codec, page_size)
+    file = PagedFile(f"{schema.name}.{name}", page_size=page_size)
+    return ColumnFile(name=name, file=file, page_codec=page_codec)

@@ -1,0 +1,93 @@
+"""Write-optimized staging store and merge (the Figure 1 left-hand box).
+
+The paper assumes updates land in a *write-optimized store* and are
+periodically moved in bulk into the read-optimized store (the design
+C-Store uses).  The paper itself only measures the read store; this
+component is included so the library is usable end to end: inserts
+accumulate in row-major order in memory, and ``merge_into`` rebuilds the
+read store with the staged tuples appended, preserving each table's sort
+order when a sort key is declared.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.generator import GeneratedTable
+from repro.errors import SchemaError, StorageError
+from repro.storage.layout import Layout
+from repro.storage.loader import BulkLoader
+from repro.storage.table import Table
+from repro.types.schema import TableSchema
+
+
+class WriteOptimizedStore:
+    """In-memory staging area for inserts into one table."""
+
+    def __init__(self, schema: TableSchema, sort_key: str | None = None):
+        self.schema = schema
+        if sort_key is not None:
+            schema.attribute(sort_key)  # validates
+        self.sort_key = sort_key
+        self._staged: list[tuple] = []
+
+    def __len__(self) -> int:
+        return len(self._staged)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._staged
+
+    def insert(self, row: tuple) -> None:
+        """Stage one tuple (in schema attribute order)."""
+        if len(row) != len(self.schema):
+            raise SchemaError(
+                f"tuple of {len(row)} values for {len(self.schema)}-attribute "
+                f"table {self.schema.name!r}"
+            )
+        self._staged.append(tuple(row))
+
+    def insert_many(self, rows: list[tuple]) -> None:
+        """Stage a batch of tuples."""
+        for row in rows:
+            self.insert(row)
+
+    def staged_columns(self) -> dict[str, np.ndarray]:
+        """The staged tuples as columns (empty dict when nothing staged)."""
+        if not self._staged:
+            return {}
+        columns = {}
+        for index, attr in enumerate(self.schema):
+            raw = [row[index] for row in self._staged]
+            columns[attr.name] = np.asarray(raw, dtype=attr.attr_type.numpy_dtype())
+        return columns
+
+    def merge_into(self, table: Table, loader: BulkLoader | None = None) -> Table:
+        """Rebuild the read store with the staged tuples merged in.
+
+        Returns a new table of the same layout; the staging area is
+        cleared.  With a ``sort_key``, the combined data is re-sorted on
+        it (stable), matching the read store's clustering.
+        """
+        if table.schema.attribute_names != self.schema.attribute_names:
+            raise StorageError(
+                f"cannot merge {self.schema.name!r} staging into table "
+                f"{table.schema.name!r}: schemas differ"
+            )
+        loader = loader or BulkLoader(page_size=table.page_size)
+        existing = table.columns_dict()
+        staged = self.staged_columns()
+        if staged:
+            merged = {
+                name: np.concatenate([existing[name], staged[name]])
+                for name in self.schema.attribute_names
+            }
+        else:
+            merged = existing
+        if self.sort_key is not None:
+            order = np.argsort(merged[self.sort_key], kind="stable")
+            merged = {name: col[order] for name, col in merged.items()}
+        data = GeneratedTable(schema=table.schema, columns=merged)
+        layout = Layout.ROW if table.layout is Layout.ROW else Layout.COLUMN
+        self._staged.clear()
+        return loader.load(data, layout)

@@ -1,0 +1,12 @@
+"""Fixed-length attribute types and table schemas."""
+
+from repro.types.datatypes import AttributeType, FixedTextType, IntType
+from repro.types.schema import Attribute, TableSchema
+
+__all__ = [
+    "AttributeType",
+    "IntType",
+    "FixedTextType",
+    "Attribute",
+    "TableSchema",
+]

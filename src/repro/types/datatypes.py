@@ -1,0 +1,137 @@
+"""Fixed-length attribute types.
+
+The paper uses fixed-length attributes throughout: four-byte integers
+(all decimals are stored as scaled integers) and fixed-width text fields.
+A type knows its on-disk width, the numpy dtype used to hold a column of
+values in memory, and how to serialize a column slice into the dense page
+byte layout of Section 2.2.1.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+
+class AttributeType(abc.ABC):
+    """Common interface for the fixed-length attribute types."""
+
+    #: on-disk width of one value, in bytes (uncompressed)
+    width: int
+
+    @abc.abstractmethod
+    def numpy_dtype(self) -> np.dtype:
+        """Dtype used for an in-memory column of this type."""
+
+    @abc.abstractmethod
+    def encode_values(self, values: np.ndarray) -> bytes:
+        """Serialize a column slice into the dense on-page representation."""
+
+    @abc.abstractmethod
+    def decode_values(self, data: bytes, count: int) -> np.ndarray:
+        """Inverse of :meth:`encode_values` for ``count`` values."""
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    def validate(self, values: np.ndarray) -> None:
+        """Raise :class:`SchemaError` if ``values`` cannot be stored."""
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.width == getattr(other, "width", None)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.width))
+
+
+class IntType(AttributeType):
+    """A four-byte signed integer (the paper's only numeric type).
+
+    Values are held in memory as ``int64`` so that compression schemes can
+    work with deltas and offsets without overflow, but each value occupies
+    four bytes on disk.
+    """
+
+    width = 4
+    _MIN = -(2**31)
+    _MAX = 2**31 - 1
+
+    def numpy_dtype(self) -> np.dtype:
+        return np.dtype(np.int64)
+
+    def encode_values(self, values: np.ndarray) -> bytes:
+        self.validate(values)
+        return np.ascontiguousarray(values, dtype="<i4").tobytes()
+
+    def decode_values(self, data: bytes, count: int) -> np.ndarray:
+        expected = count * self.width
+        if len(data) < expected:
+            raise SchemaError(
+                f"int column slice has {len(data)} bytes, need {expected}"
+            )
+        raw = np.frombuffer(data[:expected], dtype="<i4")
+        return raw.astype(np.int64)
+
+    def validate(self, values: np.ndarray) -> None:
+        values = np.asarray(values)
+        if values.size == 0:
+            return
+        if not np.issubdtype(values.dtype, np.integer):
+            raise SchemaError(f"expected integer values, got dtype {values.dtype}")
+        lo = int(values.min())
+        hi = int(values.max())
+        if lo < self._MIN or hi > self._MAX:
+            raise SchemaError(
+                f"value out of 32-bit range: min={lo} max={hi}"
+            )
+
+    def __repr__(self) -> str:
+        return "IntType()"
+
+
+class FixedTextType(AttributeType):
+    """A fixed-width text field, padded with NUL bytes on disk.
+
+    The paper converts the one variable-length LINEITEM field
+    (``L_COMMENT``) into fixed text to keep every attribute fixed-length.
+    """
+
+    def __init__(self, width: int):
+        if width <= 0:
+            raise SchemaError(f"text width must be positive, got {width}")
+        self.width = int(width)
+
+    def numpy_dtype(self) -> np.dtype:
+        return np.dtype(f"S{self.width}")
+
+    def encode_values(self, values: np.ndarray) -> bytes:
+        self.validate(values)
+        return np.ascontiguousarray(values, dtype=f"S{self.width}").tobytes()
+
+    def decode_values(self, data: bytes, count: int) -> np.ndarray:
+        expected = count * self.width
+        if len(data) < expected:
+            raise SchemaError(
+                f"text column slice has {len(data)} bytes, need {expected}"
+            )
+        return np.frombuffer(data[:expected], dtype=f"S{self.width}").copy()
+
+    def validate(self, values: np.ndarray) -> None:
+        values = np.asarray(values)
+        if values.size == 0:
+            return
+        if values.dtype.kind != "S":
+            raise SchemaError(f"expected bytes values, got dtype {values.dtype}")
+        if values.dtype.itemsize > self.width:
+            longest = max((len(v) for v in values.tolist()), default=0)
+            if longest > self.width:
+                raise SchemaError(
+                    f"text value of length {longest} exceeds field width {self.width}"
+                )
+
+    def __repr__(self) -> str:
+        return f"FixedTextType({self.width})"

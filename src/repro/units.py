@@ -1,0 +1,50 @@
+"""Unit constants and small conversion helpers.
+
+The paper quotes sizes in binary units (4 KB pages, 128 KB I/O units,
+1 MB L2) and bandwidths in decimal megabytes per second (60 MB/sec per
+disk).  Keeping both spellings here avoids scattering magic numbers.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+BITS_PER_BYTE = 8
+
+MSEC = 1e-3
+USEC = 1e-6
+NSEC = 1e-9
+
+
+def bits_to_bytes(num_bits: int) -> int:
+    """Number of whole bytes needed to hold ``num_bits`` bits."""
+    if num_bits < 0:
+        raise ValueError(f"negative bit count: {num_bits}")
+    return (num_bits + BITS_PER_BYTE - 1) // BITS_PER_BYTE
+
+
+def fmt_bytes(num_bytes: float) -> str:
+    """Human-readable byte count, e.g. ``9.5 GB``."""
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1000.0 or unit == "TB":
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1000.0
+    raise AssertionError("unreachable")
+
+
+def fmt_seconds(seconds: float) -> str:
+    """Human-readable duration, e.g. ``12.3 s`` or ``4.5 ms``."""
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= MSEC:
+        return f"{seconds / MSEC:.2f} ms"
+    return f"{seconds / USEC:.1f} us"

@@ -1,0 +1,71 @@
+"""Shared fixtures: small generated tables in both layouts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.tpch import (
+    apply_fig5_compression,
+    generate_lineitem,
+    generate_orders,
+)
+from repro.storage.layout import Layout
+from repro.storage.loader import load_table
+
+SMALL_ROWS = 1_500
+
+
+@pytest.fixture(scope="session")
+def lineitem_data():
+    return generate_lineitem(SMALL_ROWS, seed=101)
+
+
+@pytest.fixture(scope="session")
+def orders_data():
+    return generate_orders(SMALL_ROWS, seed=101)
+
+
+@pytest.fixture(scope="session")
+def lineitem_z_data(lineitem_data):
+    return apply_fig5_compression(lineitem_data)
+
+
+@pytest.fixture(scope="session")
+def orders_z_data(orders_data):
+    return apply_fig5_compression(orders_data)
+
+
+@pytest.fixture(scope="session")
+def lineitem_row(lineitem_data):
+    return load_table(lineitem_data, Layout.ROW)
+
+
+@pytest.fixture(scope="session")
+def lineitem_column(lineitem_data):
+    return load_table(lineitem_data, Layout.COLUMN)
+
+
+@pytest.fixture(scope="session")
+def orders_row(orders_data):
+    return load_table(orders_data, Layout.ROW)
+
+
+@pytest.fixture(scope="session")
+def orders_column(orders_data):
+    return load_table(orders_data, Layout.COLUMN)
+
+
+@pytest.fixture(scope="session")
+def orders_z_column(orders_z_data):
+    return load_table(orders_z_data, Layout.COLUMN)
+
+
+@pytest.fixture(scope="session")
+def orders_z_row(orders_z_data):
+    return load_table(orders_z_data, Layout.ROW)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)

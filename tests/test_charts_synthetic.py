@@ -1,0 +1,110 @@
+"""Chart-rendering and synthetic-table tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import synthetic_table, tuple_width_table
+from repro.engine.executor import run_scan
+from repro.engine.query import ScanQuery
+from repro.errors import SchemaError
+from repro.experiments.charts import render_bar_chart, render_series_chart
+from repro.storage.layout import Layout
+from repro.storage.loader import load_table
+
+
+class TestBarChart:
+    def test_peak_fills_width(self):
+        text = render_bar_chart(["a", "b"], [10.0, 5.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 10
+        assert 4 <= lines[1].count("█") <= 5
+
+    def test_values_printed(self):
+        text = render_bar_chart(["x"], [3.14159], unit="s")
+        assert "3.14s" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            render_bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert render_bar_chart([], []) == "(empty chart)"
+
+    def test_zero_values_safe(self):
+        text = render_bar_chart(["a", "b"], [0.0, 0.0])
+        assert "0.00" in text
+
+
+class TestSeriesChart:
+    def test_renders_all_series(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        text = render_series_chart(
+            x, {"row": [5, 5, 5, 5], "col": [1, 2, 3, 4]}, height=8, width=30
+        )
+        assert "*" in text and "o" in text
+        assert "row" in text and "col" in text
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ValueError):
+            render_series_chart([1.0, 2.0], {"s": [1.0]})
+
+    def test_empty(self):
+        assert render_series_chart([], {}) == "(empty chart)"
+
+
+class TestSyntheticTables:
+    def test_shape(self):
+        data = synthetic_table("S", 200, int_attrs=3, text_attrs=2, text_width=6)
+        assert data.num_rows == 200
+        assert len(data.schema) == 5
+        assert data.schema.tuple_width == 3 * 4 + 2 * 6
+
+    def test_distinct_cap(self):
+        data = synthetic_table("S", 500, int_attrs=2, distinct_values=4)
+        for name in ("i0", "i1"):
+            assert len(np.unique(data.column(name))) <= 4
+
+    def test_sorted_first(self):
+        data = synthetic_table("S", 300, int_attrs=2, sorted_first=True)
+        assert (np.diff(data.column("i0")) >= 0).all()
+        # Only the first column is sorted.
+        assert not (np.diff(data.column("i1")) >= 0).all()
+
+    def test_deterministic(self):
+        a = synthetic_table("S", 100, seed=9)
+        b = synthetic_table("S", 100, seed=9)
+        np.testing.assert_array_equal(a.column("i0"), b.column("i0"))
+
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            synthetic_table("S", 0)
+        with pytest.raises(SchemaError):
+            synthetic_table("S", 10, int_attrs=0, text_attrs=0)
+
+    def test_tuple_width_table(self):
+        data = tuple_width_table(16, 100)
+        assert data.schema.tuple_width == 16
+        assert len(data.schema) == 4
+        with pytest.raises(SchemaError):
+            tuple_width_table(10, 100)  # not a multiple of 4
+
+    def test_scannable_in_every_layout(self):
+        data = synthetic_table("S", 150, int_attrs=2, text_attrs=1)
+        query = ScanQuery("S", select=("i0", "t0"))
+        results = [
+            run_scan(load_table(data, layout), query)
+            for layout in (Layout.ROW, Layout.COLUMN, Layout.PAX)
+        ]
+        for other in results[1:]:
+            np.testing.assert_array_equal(
+                other.column("i0"), results[0].column("i0")
+            )
+
+
+class TestCliCharts:
+    def test_charts_flag(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--charts", "--rows", "1000", "figure-2"]) == 0
+        out = capsys.readouterr().out
+        assert "█" in out

@@ -1,0 +1,98 @@
+"""Compression-advisor tests."""
+
+import numpy as np
+import pytest
+
+from repro.compression.advisor import CompressionAdvisor, candidate_specs, choose_spec
+from repro.compression.base import CodecKind
+from repro.errors import CompressionError
+from repro.types.datatypes import FixedTextType, IntType
+
+
+class TestChooseSpec:
+    def test_low_cardinality_picks_dictionary(self):
+        values = np.array([0, 5, 9] * 100)
+        spec = choose_spec(IntType(), values)
+        assert spec.kind is CodecKind.DICT
+        assert spec.bits == 2
+
+    def test_sorted_keys_pick_for_delta(self):
+        keys = np.cumsum(np.random.default_rng(0).integers(1, 3, size=10_000))
+        spec = choose_spec(IntType(), keys, max_dictionary=16)
+        assert spec.kind is CodecKind.FOR_DELTA
+        assert spec.bits <= 2
+
+    def test_prefer_cheap_decode_penalizes_for_delta(self):
+        # A short sorted run: FOR-delta needs 1 bit, the random-access
+        # schemes 7; the decode penalty must flip the near-tie away
+        # from FOR-delta's whole-page decodes.
+        keys = np.cumsum(np.ones(100, dtype=np.int64))
+        greedy = choose_spec(IntType(), keys, max_dictionary=16)
+        cheap = choose_spec(
+            IntType(), keys, max_dictionary=16, prefer_cheap_decode=True
+        )
+        assert greedy.kind is CodecKind.FOR_DELTA
+        assert cheap.kind is not CodecKind.FOR_DELTA
+
+    def test_incompressible_column_stays_uncompressed(self):
+        rng = np.random.default_rng(5)
+        values = rng.integers(-(2**31), 2**31 - 1, size=5_000)
+        spec = choose_spec(IntType(), values, max_dictionary=16)
+        assert spec.kind is CodecKind.NONE
+
+    def test_text_uses_pack_or_dict(self):
+        values = np.array([b"short", b"words", b"here"] * 50, dtype="S69")
+        spec = choose_spec(FixedTextType(69), values, max_dictionary=2)
+        assert spec.kind is CodecKind.PACK
+        assert spec.bits == 5 * 8
+
+    def test_never_wider_than_uncompressed(self):
+        rng = np.random.default_rng(6)
+        for _ in range(5):
+            values = rng.integers(0, 2**20, size=500)
+            spec = choose_spec(IntType(), values)
+            assert spec.bits <= 32
+
+
+class TestCandidates:
+    def test_includes_identity_always(self):
+        choices = candidate_specs(IntType(), np.array([1, 2, 3]))
+        kinds = {choice.kind for choice in choices}
+        assert CodecKind.NONE in kinds
+        assert CodecKind.PACK in kinds
+        assert CodecKind.FOR in kinds
+        assert CodecKind.FOR_DELTA in kinds
+
+    def test_no_frame_candidates_for_text(self):
+        values = np.array([b"a", b"b"], dtype="S4")
+        kinds = {c.kind for c in candidate_specs(FixedTextType(4), values)}
+        assert CodecKind.FOR not in kinds
+        assert CodecKind.FOR_DELTA not in kinds
+
+
+class TestAdvisor:
+    def test_advises_whole_table(self):
+        advisor = CompressionAdvisor()
+        types = {"a": IntType(), "b": FixedTextType(4)}
+        columns = {
+            "a": np.array([1, 2, 3] * 10),
+            "b": np.array([b"x", b"y"] * 15, dtype="S4"),
+        }
+        specs = advisor.advise(types, columns)
+        assert set(specs) == {"a", "b"}
+        assert all(spec.bits > 0 for spec in specs.values())
+
+    def test_missing_column_rejected(self):
+        advisor = CompressionAdvisor()
+        with pytest.raises(CompressionError):
+            advisor.advise({"a": IntType()}, {})
+
+    def test_matches_fig5_expectations(self, orders_data):
+        """The advisor should do at least as well as Figure 5 on ORDERS."""
+        advisor = CompressionAdvisor()
+        types = {a.name: a.attr_type for a in orders_data.schema}
+        specs = advisor.advise(types, orders_data.columns)
+        packed_bits = sum(specs[a.name].bits for a in orders_data.schema)
+        # Figure 5's ORDERS-Z is 92 bits; the advisor may beat it
+        # (it can dictionary-code what the paper left uncompressed).
+        assert packed_bits <= 92

@@ -1,0 +1,107 @@
+"""Identity, text-pack, registry, and spec tests."""
+
+import numpy as np
+import pytest
+
+from repro.compression.base import CodecKind, CodecSpec
+from repro.compression.identity import IdentityCodec
+from repro.compression.registry import build_codec, build_codec_for_values
+from repro.compression.textpack import TextPackCodec
+from repro.errors import CompressionError
+from repro.types.datatypes import FixedTextType, IntType
+
+
+class TestCodecSpec:
+    def test_describe_formats(self):
+        assert CodecSpec(kind=CodecKind.PACK, bits=6).describe() == "pack, 6 bits"
+        assert (
+            CodecSpec(kind=CodecKind.PACK, bits=16).describe() == "pack, 2 bytes"
+        )
+        assert CodecSpec(kind=CodecKind.NONE, bits=32).describe() == "non-compressed"
+
+    def test_zero_bits_rejected(self):
+        with pytest.raises(CompressionError):
+            CodecSpec(kind=CodecKind.PACK, bits=0)
+
+    def test_dictionary_only_for_dict_kind(self):
+        with pytest.raises(CompressionError):
+            CodecSpec(kind=CodecKind.PACK, bits=2, dictionary=(1, 2))
+
+    def test_is_compressed(self):
+        assert CodecSpec(kind=CodecKind.PACK, bits=2).is_compressed
+        assert not CodecSpec(kind=CodecKind.NONE, bits=32).is_compressed
+
+
+class TestIdentityCodec:
+    def test_roundtrip_int(self):
+        codec = IdentityCodec(IdentityCodec.spec_for_type(IntType()), IntType())
+        values = np.array([1, -5, 2**30])
+        payload, state = codec.encode_page(values)
+        np.testing.assert_array_equal(codec.decode_page(payload, 3, state), values)
+
+    def test_bits_match_type_width(self):
+        assert IdentityCodec.spec_for_type(IntType()).bits == 32
+        assert IdentityCodec.spec_for_type(FixedTextType(25)).bits == 200
+
+    def test_mismatched_width_rejected(self):
+        with pytest.raises(CompressionError):
+            IdentityCodec(CodecSpec(kind=CodecKind.NONE, bits=8), IntType())
+
+    def test_values_per_page(self):
+        codec = IdentityCodec(IdentityCodec.spec_for_type(IntType()), IntType())
+        assert codec.values_per_page(4076) == 1019
+
+
+class TestTextPackCodec:
+    def test_suppresses_padding(self):
+        values = np.array([b"hi", b"there"], dtype="S69")
+        spec = TextPackCodec.spec_for_values(values)
+        assert spec.bits == 5 * 8
+        codec = TextPackCodec(spec, FixedTextType(69))
+        payload, state = codec.encode_page(values)
+        assert len(payload) == 10
+        np.testing.assert_array_equal(codec.decode_page(payload, 2, state), values)
+
+    def test_overlong_value_rejected_at_encode(self):
+        spec = CodecSpec(kind=CodecKind.PACK, bits=3 * 8)
+        codec = TextPackCodec(spec, FixedTextType(10))
+        with pytest.raises(CompressionError):
+            codec.encode_page(np.array([b"toolong"], dtype="S10"))
+
+    def test_packed_wider_than_field_rejected(self):
+        with pytest.raises(CompressionError):
+            TextPackCodec(CodecSpec(kind=CodecKind.PACK, bits=88), FixedTextType(10))
+
+    def test_non_byte_width_rejected(self):
+        with pytest.raises(CompressionError):
+            TextPackCodec(CodecSpec(kind=CodecKind.PACK, bits=12), FixedTextType(10))
+
+
+class TestRegistry:
+    def test_builds_every_kind_for_ints(self):
+        values = np.array([10, 11, 12, 13] * 50)
+        for kind in CodecKind:
+            codec = build_codec_for_values(kind, IntType(), values)
+            payload, state = codec.encode_page(values)
+            np.testing.assert_array_equal(
+                codec.decode_page(payload, len(values), state), values
+            )
+
+    def test_pack_dispatches_on_type(self):
+        ints = build_codec_for_values(CodecKind.PACK, IntType(), np.array([1, 2]))
+        texts = build_codec_for_values(
+            CodecKind.PACK, FixedTextType(8), np.array([b"ab"], dtype="S8")
+        )
+        assert type(ints).__name__ == "BitPackCodec"
+        assert isinstance(texts, TextPackCodec)
+
+    def test_build_codec_from_spec(self):
+        spec = CodecSpec(kind=CodecKind.PACK, bits=6)
+        codec = build_codec(spec, IntType())
+        assert codec.bits_per_value == 6
+
+    def test_values_per_page_errors_on_tiny_payload(self):
+        codec = build_codec(CodecSpec(kind=CodecKind.PACK, bits=64 * 8), IntType())
+        # 512-bit values cannot fit in a 4-byte payload.
+        with pytest.raises(CompressionError):
+            codec.values_per_page(4)

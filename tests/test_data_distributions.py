@@ -1,0 +1,70 @@
+"""Distribution-helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import distributions as dist
+
+
+class TestCategorical:
+    def test_values_from_domain(self, rng):
+        out = dist.sample_categorical(rng, dist.SHIP_MODES, 500, width=10)
+        assert set(np.unique(out)) <= set(dist.SHIP_MODES)
+        assert out.dtype == np.dtype("S10")
+
+    def test_domain_sizes_match_fig5(self):
+        # The dictionary widths of Figure 5 come from these counts.
+        assert len(dist.RETURN_FLAGS) == 3  # 2 bits
+        assert len(dist.LINE_STATUSES) == 2
+        assert len(dist.SHIP_INSTRUCTIONS) == 4  # 2 bits
+        assert len(dist.SHIP_MODES) == 7  # 3 bits
+        assert len(dist.ORDER_STATUSES) == 3  # 2 bits
+        assert len(dist.ORDER_PRIORITIES) == 5  # 3 bits
+
+    def test_priorities_fit_11_byte_field(self):
+        assert all(len(p) <= 11 for p in dist.ORDER_PRIORITIES)
+
+
+class TestOrderDates:
+    def test_hash_dates_deterministic(self):
+        keys = np.array([1, 2, 3, 1000, 10**6])
+        a = dist.order_date_for_keys(keys)
+        b = dist.order_date_for_keys(keys)
+        np.testing.assert_array_equal(a, b)
+
+    def test_hash_dates_in_domain(self):
+        keys = np.arange(1, 50_000)
+        dates = dist.order_date_for_keys(keys)
+        assert dates.min() >= dist.DAYS_1970_TO_1992
+        assert dates.max() < dist.DAYS_1970_TO_1998_END
+        assert dates.max() < 2**14  # O_ORDERDATE packs to 14 bits
+
+    def test_hash_dates_spread(self):
+        dates = dist.order_date_for_keys(np.arange(1, 10_000))
+        # A hash, not a constant: wide spread across the domain.
+        assert len(np.unique(dates)) > 1_000
+
+    def test_sampled_dates_leave_shipping_room(self, rng):
+        dates = dist.sample_order_dates(rng, 10_000)
+        assert dates.max() <= dist.DAYS_1970_TO_1998_END - 152
+
+
+class TestComments:
+    def test_length_budget(self, rng):
+        out = dist.sample_comments(rng, 200, max_length=28, field_width=69)
+        lengths = [len(v) for v in out.tolist()]
+        assert max(lengths) == 28  # forced witness for pack sizing
+        assert all(length <= 28 for length in lengths)
+
+    def test_width_validation(self, rng):
+        with pytest.raises(ValueError):
+            dist.sample_comments(rng, 10, max_length=70, field_width=69)
+
+    def test_deterministic_given_generator_state(self):
+        a = dist.sample_comments(
+            np.random.default_rng(5), 50, max_length=28, field_width=69
+        )
+        b = dist.sample_comments(
+            np.random.default_rng(5), 50, max_length=28, field_width=69
+        )
+        np.testing.assert_array_equal(a, b)

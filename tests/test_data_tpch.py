@@ -1,0 +1,182 @@
+"""TPC-H-substitute generator tests: schemas, domains, Figure 5 widths."""
+
+import numpy as np
+import pytest
+
+from repro.compression.base import CodecKind
+from repro.data import distributions as dist
+from repro.data.generator import GeneratedTable
+from repro.data.tpch import (
+    apply_fig5_compression,
+    generate_lineitem,
+    generate_orders,
+    generate_tpch_pair,
+    lineitem_schema,
+    orders_schema,
+)
+from repro.errors import SchemaError
+
+
+class TestSchemas:
+    def test_lineitem_attribute_order_matches_fig5(self):
+        names = lineitem_schema().attribute_names
+        assert names[0] == "L_PARTKEY"
+        assert names[1] == "L_ORDERKEY"
+        assert names[8] == "L_SHIPINSTRUCT"
+        assert names[10] == "L_COMMENT"
+        assert names[15] == "L_RECEIPTDATE"
+
+    def test_orders_attribute_order_matches_fig5(self):
+        names = orders_schema().attribute_names
+        assert names == (
+            "O_ORDERDATE",
+            "O_ORDERKEY",
+            "O_CUSTKEY",
+            "O_ORDERSTATUS",
+            "O_ORDERPRIORITY",
+            "O_TOTALPRICE",
+            "O_SHIPPRIORITY",
+        )
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_orders(500, seed=4)
+        b = generate_orders(500, seed=4)
+        for name in a.schema.attribute_names:
+            np.testing.assert_array_equal(a.column(name), b.column(name))
+
+    def test_different_seeds_differ(self):
+        a = generate_orders(500, seed=4)
+        b = generate_orders(500, seed=5)
+        assert not np.array_equal(a.column("O_CUSTKEY"), b.column("O_CUSTKEY"))
+
+    def test_orderkeys_sorted_with_small_steps(self, orders_data):
+        keys = orders_data.column("O_ORDERKEY")
+        steps = np.diff(keys)
+        assert (steps >= 1).all()
+        assert steps.max() <= 255  # fits FOR-delta's 8 bits
+
+    def test_lineitem_orderkeys_sorted(self, lineitem_data):
+        keys = lineitem_data.column("L_ORDERKEY")
+        assert (np.diff(keys) >= 0).all()
+
+    def test_line_numbers_restart_per_order(self, lineitem_data):
+        keys = lineitem_data.column("L_ORDERKEY")
+        nums = lineitem_data.column("L_LINENUMBER")
+        assert nums[0] == 1
+        for i in range(1, len(keys)):
+            if keys[i] == keys[i - 1]:
+                assert nums[i] == nums[i - 1] + 1
+            else:
+                assert nums[i] == 1
+
+    def test_domains_match_fig5_widths(self, lineitem_data):
+        li = lineitem_data
+        assert li.column("L_QUANTITY").max() <= 63  # 6 bits
+        assert li.column("L_LINENUMBER").max() <= 7  # 3 bits
+        assert len(np.unique(li.column("L_RETURNFLAG"))) <= 4  # 2 bits
+        assert len(np.unique(li.column("L_SHIPMODE"))) <= 8  # 3 bits
+        assert len(np.unique(li.column("L_DISCOUNT"))) <= 16  # 4 bits
+        assert li.column("L_SHIPDATE").max() < 2**16  # 2 bytes
+
+    def test_dates_consistent(self, lineitem_data):
+        li = lineitem_data
+        assert (li.column("L_SHIPDATE") < li.column("L_RECEIPTDATE")).all()
+
+    def test_orders_date_domain_fits_14_bits(self, orders_data):
+        dates = orders_data.column("O_ORDERDATE")
+        assert dates.min() >= dist.DAYS_1970_TO_1992
+        assert dates.max() < 2**14
+
+    def test_bad_row_counts_rejected(self):
+        with pytest.raises(SchemaError):
+            generate_orders(0)
+        with pytest.raises(SchemaError):
+            generate_lineitem(-5)
+        with pytest.raises(SchemaError):
+            generate_lineitem(None)  # needs order_keys
+
+
+class TestFig5Compression:
+    def test_lineitem_z_packs_to_51_bytes(self, lineitem_z_data):
+        # The paper reports 52; the bit-exact sum of Figure 5's widths
+        # is 408 bits = 51 bytes.
+        assert lineitem_z_data.schema.packed_tuple_bits == 408
+
+    def test_orders_z_packs_to_12_bytes(self, orders_z_data):
+        assert orders_z_data.schema.packed_tuple_bits == 92  # ceil -> 12 B
+
+    def test_schemes_match_fig5(self, orders_z_data):
+        schema = orders_z_data.schema
+        assert schema.attribute("O_ORDERDATE").spec.kind is CodecKind.PACK
+        assert schema.attribute("O_ORDERDATE").spec.bits == 14
+        assert schema.attribute("O_ORDERKEY").spec.kind is CodecKind.FOR_DELTA
+        assert schema.attribute("O_CUSTKEY").spec.kind is CodecKind.NONE
+        assert schema.attribute("O_SHIPPRIORITY").spec.bits == 1
+
+    def test_unknown_table_rejected(self):
+        from repro.types.schema import TableSchema
+
+        data = generate_orders(50, seed=1)
+        renamed = GeneratedTable(
+            schema=TableSchema(name="CUSTOMER", attributes=data.schema.attributes),
+            columns=dict(data.columns),
+        )
+        with pytest.raises(SchemaError):
+            apply_fig5_compression(renamed)
+
+
+class TestPairGeneration:
+    def test_join_consistency(self):
+        orders, lineitem = generate_tpch_pair(400, seed=2)
+        order_keys = set(orders.column("O_ORDERKEY").tolist())
+        line_keys = set(np.unique(lineitem.column("L_ORDERKEY")).tolist())
+        assert line_keys <= order_keys
+
+    def test_every_order_has_lines(self):
+        orders, lineitem = generate_tpch_pair(400, seed=2)
+        line_keys = set(np.unique(lineitem.column("L_ORDERKEY")).tolist())
+        assert line_keys == set(orders.column("O_ORDERKEY").tolist())
+
+    def test_average_lines_per_order_near_four(self):
+        orders, lineitem = generate_tpch_pair(2_000, seed=3)
+        ratio = lineitem.num_rows / orders.num_rows
+        assert 3.0 < ratio < 5.0
+
+    def test_dates_derived_from_orderkey_agree(self):
+        orders, lineitem = generate_tpch_pair(300, seed=9)
+        odate = dict(
+            zip(orders.column("O_ORDERKEY"), orders.column("O_ORDERDATE"))
+        )
+        shift = dist.DAYS_1900_TO_1992 - dist.DAYS_1970_TO_1992
+        ship = lineitem.column("L_SHIPDATE")
+        keys = lineitem.column("L_ORDERKEY")
+        for i in range(0, lineitem.num_rows, 97):
+            base = odate[int(keys[i])] + shift
+            assert base < ship[i] <= base + 121
+
+
+class TestGeneratedTable:
+    def test_ragged_columns_rejected(self):
+        schema = orders_schema()
+        data = generate_orders(10, seed=1)
+        columns = dict(data.columns)
+        columns["O_CUSTKEY"] = columns["O_CUSTKEY"][:5]
+        with pytest.raises(SchemaError):
+            GeneratedTable(schema=schema, columns=columns)
+
+    def test_missing_column_rejected(self):
+        data = generate_orders(10, seed=1)
+        columns = dict(data.columns)
+        del columns["O_CUSTKEY"]
+        with pytest.raises(SchemaError):
+            GeneratedTable(schema=data.schema, columns=columns)
+
+    def test_row_accessor(self, orders_data):
+        row = orders_data.row(0)
+        assert len(row) == 7
+        assert row[1] == orders_data.column("O_ORDERKEY")[0]
+
+    def test_head(self, orders_data):
+        assert len(orders_data.head(3)) == 3

@@ -1,0 +1,154 @@
+"""Database facade and Limit/TopN operator tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.tpch import generate_orders
+from repro.database import Database
+from repro.engine.context import ExecutionContext
+from repro.engine.executor import execute_plan
+from repro.engine.operators.limit import Limit, TopN
+from repro.engine.plan import scan_plan
+from repro.engine.query import ScanQuery
+from repro.errors import PlanError, StorageError
+from repro.storage.layout import Layout
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database()
+    database.create_table(generate_orders(2_000, seed=17))
+    return database
+
+
+class TestDatabase:
+    def test_create_and_list(self, db):
+        assert db.tables() == ["ORDERS"]
+        assert db.table("ORDERS", Layout.ROW).layout is Layout.ROW
+        assert db.table("ORDERS", Layout.COLUMN).layout is Layout.COLUMN
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(StorageError):
+            db.create_table(generate_orders(10, seed=17))
+
+    def test_unknown_table_rejected(self, db):
+        with pytest.raises(StorageError):
+            db.table("NOPE")
+
+    def test_query_matches_direct_scan(self, db):
+        from repro.engine.executor import run_scan
+
+        pred = db.predicate("ORDERS", "O_ORDERDATE", 0.25)
+        select = ("O_ORDERDATE", "O_CUSTKEY")
+        via_db = db.query("ORDERS", select=select, predicates=(pred,))
+        direct = run_scan(
+            db.table("ORDERS", Layout.ROW),
+            ScanQuery("ORDERS", select=select, predicates=(pred,)),
+        )
+        np.testing.assert_array_equal(via_db.positions, direct.positions)
+
+    def test_view_routing(self, db):
+        db.create_view(
+            "ORDERS", ("O_ORDERKEY", "O_TOTALPRICE"), name="PRICES"
+        )
+        result = db.query("ORDERS", select=("O_TOTALPRICE",))
+        assert result.num_tuples == 2_000
+        # Bypassing views still works.
+        direct = db.query("ORDERS", select=("O_TOTALPRICE",), use_views=False)
+        np.testing.assert_array_equal(
+            np.sort(result.column("O_TOTALPRICE")),
+            np.sort(direct.column("O_TOTALPRICE")),
+        )
+
+    def test_compressed_table(self):
+        database = Database()
+        database.create_table(generate_orders(1_000, seed=3), compress=True)
+        table = database.table("ORDERS", Layout.COLUMN)
+        assert table.schema.packed_tuple_bits < 32 * 8
+        result = database.query("ORDERS", select=("O_CUSTKEY",), use_views=False)
+        assert result.num_tuples == 1_000
+
+    def test_estimate_and_compare(self, db):
+        pred = db.predicate("ORDERS", "O_ORDERDATE", 0.10)
+        estimates = db.compare_layouts(
+            "ORDERS", select=("O_ORDERDATE", "O_CUSTKEY"), predicates=(pred,)
+        )
+        assert set(estimates) == {Layout.ROW, Layout.COLUMN}
+        assert estimates[Layout.COLUMN].elapsed < estimates[Layout.ROW].elapsed
+
+    def test_estimate_unmaterialized_layout_rejected(self, db):
+        with pytest.raises(PlanError):
+            db.estimate("ORDERS", select=("O_CUSTKEY",), layout=Layout.PAX)
+
+    def test_no_layouts_rejected(self):
+        with pytest.raises(StorageError):
+            Database(layouts=())
+
+
+class TestLimitTopN:
+    def _scan(self, db, select=("O_TOTALPRICE", "O_CUSTKEY")):
+        context = ExecutionContext()
+        plan = scan_plan(
+            context,
+            db.table("ORDERS", Layout.COLUMN),
+            ScanQuery("ORDERS", select=select),
+        )
+        return context, plan
+
+    def test_limit_truncates(self, db):
+        context, scan = self._scan(db)
+        result = execute_plan(Limit(context, scan, 250))
+        assert result.num_tuples == 250
+
+    def test_limit_zero(self, db):
+        context, scan = self._scan(db)
+        result = execute_plan(Limit(context, scan, 0))
+        assert result.num_tuples == 0
+
+    def test_limit_larger_than_input(self, db):
+        context, scan = self._scan(db)
+        result = execute_plan(Limit(context, scan, 10**6))
+        assert result.num_tuples == 2_000
+
+    def test_negative_limit_rejected(self, db):
+        context, scan = self._scan(db)
+        with pytest.raises(PlanError):
+            Limit(context, scan, -1)
+
+    def test_topn_matches_full_sort(self, db):
+        context, scan = self._scan(db)
+        result = execute_plan(TopN(context, scan, key="O_TOTALPRICE", count=25))
+        prices = db.table("ORDERS", Layout.ROW).read_column("O_TOTALPRICE")
+        expected = np.sort(prices)[:25]
+        np.testing.assert_array_equal(result.column("O_TOTALPRICE"), expected)
+
+    def test_topn_descending(self, db):
+        context, scan = self._scan(db)
+        result = execute_plan(
+            TopN(context, scan, key="O_TOTALPRICE", count=10, descending=True)
+        )
+        prices = db.table("ORDERS", Layout.ROW).read_column("O_TOTALPRICE")
+        expected = np.sort(prices)[::-1][:10]
+        np.testing.assert_array_equal(result.column("O_TOTALPRICE"), expected)
+
+    def test_topn_cheaper_than_sort(self, db):
+        from repro.engine.operators.sort import SortOperator
+
+        context_top, scan_top = self._scan(db)
+        execute_plan(TopN(context_top, scan_top, key="O_TOTALPRICE", count=10))
+        context_sort, scan_sort = self._scan(db)
+        execute_plan(SortOperator(context_sort, scan_sort, key="O_TOTALPRICE"))
+        assert (
+            context_top.events.sort_comparisons
+            < context_sort.events.sort_comparisons
+        )
+
+    def test_topn_missing_key_rejected(self, db):
+        context, scan = self._scan(db, select=("O_CUSTKEY",))
+        with pytest.raises(PlanError):
+            execute_plan(TopN(context, scan, key="O_TOTALPRICE", count=5))
+
+    def test_topn_positive_count_required(self, db):
+        context, scan = self._scan(db)
+        with pytest.raises(PlanError):
+            TopN(context, scan, key="O_TOTALPRICE", count=0)

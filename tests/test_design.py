@@ -1,0 +1,109 @@
+"""Physical-design advisor tests."""
+
+import pytest
+
+from repro.data.tpch import orders_schema
+from repro.design.mv_advisor import MaterializedViewAdvisor
+from repro.design.physical import LayoutAdvisor
+from repro.engine.query import ScanQuery
+from repro.errors import PlanError
+from repro.storage.layout import Layout
+
+
+def q(*select):
+    return ScanQuery("ORDERS", select=tuple(select))
+
+
+class TestMvAdvisor:
+    def test_single_query_workload(self):
+        advisor = MaterializedViewAdvisor(orders_schema())
+        views = advisor.advise([q("O_ORDERDATE", "O_TOTALPRICE")])
+        assert views
+        best = views[0]
+        assert set(best.attributes) == {"O_ORDERDATE", "O_TOTALPRICE"}
+        assert best.coverage == 1.0
+        assert best.view_width == 8
+        assert best.bytes_saved_fraction == pytest.approx(1 - 8 / 32)
+
+    def test_union_candidate_covers_both_queries(self):
+        advisor = MaterializedViewAdvisor(orders_schema())
+        views = advisor.advise(
+            [q("O_ORDERDATE", "O_TOTALPRICE"), q("O_ORDERDATE", "O_CUSTKEY")],
+            max_views=10,
+        )
+        full_coverage = [v for v in views if v.coverage == 1.0]
+        assert full_coverage
+        assert set(full_coverage[0].attributes) == {
+            "O_ORDERDATE",
+            "O_TOTALPRICE",
+            "O_CUSTKEY",
+        }
+
+    def test_attributes_in_schema_order(self):
+        advisor = MaterializedViewAdvisor(orders_schema())
+        views = advisor.advise([q("O_TOTALPRICE", "O_ORDERDATE")])
+        assert views[0].attributes == ("O_ORDERDATE", "O_TOTALPRICE")
+
+    def test_affinity_counts(self):
+        advisor = MaterializedViewAdvisor(orders_schema())
+        counts = advisor.affinity(
+            [q("O_ORDERDATE", "O_TOTALPRICE"), q("O_ORDERDATE", "O_TOTALPRICE")]
+        )
+        assert counts[("O_ORDERDATE", "O_TOTALPRICE")] == 2
+
+    def test_wrong_table_rejected(self):
+        advisor = MaterializedViewAdvisor(orders_schema())
+        with pytest.raises(PlanError):
+            advisor.advise([ScanQuery("LINEITEM", select=("L_PARTKEY",))])
+
+    def test_empty_workload(self):
+        advisor = MaterializedViewAdvisor(orders_schema())
+        assert advisor.advise([]) == []
+
+    def test_predicate_attrs_included(self):
+        from repro.engine.predicate import ComparisonOp, Predicate
+
+        advisor = MaterializedViewAdvisor(orders_schema())
+        query = ScanQuery(
+            "ORDERS",
+            select=("O_TOTALPRICE",),
+            predicates=(Predicate("O_ORDERDATE", ComparisonOp.LE, 5),),
+        )
+        views = advisor.advise([query])
+        assert "O_ORDERDATE" in views[0].attributes
+
+
+class TestLayoutAdvisor:
+    def test_wide_table_gets_column_store(self):
+        from repro.data.tpch import lineitem_schema
+
+        advisor = LayoutAdvisor()
+        workload = [
+            (ScanQuery("LINEITEM", select=("L_PARTKEY", "L_QUANTITY")), 0.10)
+        ]
+        rec = advisor.recommend(lineitem_schema(), workload, cpdb=18)
+        assert rec.layout is Layout.COLUMN
+        assert rec.mean_speedup > 2
+
+    def test_full_scans_on_lean_table_at_low_cpdb_get_rows(self):
+        advisor = LayoutAdvisor()
+        schema = orders_schema().project(["O_ORDERDATE", "O_ORDERKEY"])
+        from repro.types.schema import TableSchema
+
+        schema = TableSchema(name="LEAN", attributes=schema.attributes)
+        workload = [
+            (ScanQuery("LEAN", select=("O_ORDERDATE", "O_ORDERKEY")), 0.10)
+        ]
+        rec = advisor.recommend(schema, workload, cpdb=9)
+        assert rec.layout is Layout.ROW
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(PlanError):
+            LayoutAdvisor().recommend(orders_schema(), [], cpdb=18)
+
+    def test_describe_lists_queries(self):
+        advisor = LayoutAdvisor()
+        workload = [(q("O_ORDERDATE", "O_TOTALPRICE"), 0.10)]
+        rec = advisor.recommend(orders_schema(), workload, cpdb=18)
+        assert "ORDERS" in rec.describe()
+        assert "select" in rec.describe()

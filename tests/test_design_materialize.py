@@ -1,0 +1,146 @@
+"""Materialized-view materialization and routing tests."""
+
+import numpy as np
+import pytest
+
+from repro.design.materialize import ViewRouter, materialize_view
+from repro.engine.executor import run_scan
+from repro.engine.predicate import predicate_for_selectivity
+from repro.engine.query import ScanQuery
+from repro.errors import PlanError, SchemaError
+from repro.storage.layout import Layout
+
+
+class TestMaterializeView:
+    def test_view_holds_projected_columns(self, orders_data):
+        view = materialize_view(orders_data, ("O_ORDERDATE", "O_TOTALPRICE"))
+        assert view.table.num_rows == orders_data.num_rows
+        assert view.table.schema.attribute_names == (
+            "O_ORDERDATE",
+            "O_TOTALPRICE",
+        )
+        np.testing.assert_array_equal(
+            np.sort(view.table.read_column("O_TOTALPRICE")),
+            np.sort(orders_data.column("O_TOTALPRICE")),
+        )
+
+    def test_sort_key_reclusters(self, orders_data):
+        view = materialize_view(
+            orders_data,
+            ("O_ORDERSTATUS", "O_TOTALPRICE"),
+            sort_key="O_ORDERSTATUS",
+        )
+        statuses = view.table.read_column("O_ORDERSTATUS")
+        assert (statuses[1:] >= statuses[:-1]).all()
+        # Rows keep their pairing after the re-sort.
+        prices = view.table.read_column("O_TOTALPRICE")
+        base = dict()
+        for status, price in zip(
+            orders_data.column("O_ORDERSTATUS"), orders_data.column("O_TOTALPRICE")
+        ):
+            base.setdefault(status, []).append(int(price))
+        for status in np.unique(statuses):
+            got = sorted(int(p) for p in prices[statuses == status])
+            assert got == sorted(base[status])
+
+    def test_sort_key_must_be_view_attribute(self, orders_data):
+        with pytest.raises(PlanError):
+            materialize_view(
+                orders_data, ("O_TOTALPRICE",), sort_key="O_ORDERDATE"
+            )
+
+    def test_compressed_view_is_smaller(self, orders_data):
+        plain = materialize_view(orders_data, ("O_ORDERSTATUS", "O_SHIPPRIORITY"))
+        packed = materialize_view(
+            orders_data, ("O_ORDERSTATUS", "O_SHIPPRIORITY"), compress=True
+        )
+        attrs = ["O_ORDERSTATUS", "O_SHIPPRIORITY"]
+        # Compare at a scale where page quantization is negligible.
+        plain_bytes = sum(
+            plain.table.file_sizes_for(attrs, cardinality=1_000_000).values()
+        )
+        packed_bytes = sum(
+            packed.table.file_sizes_for(attrs, cardinality=1_000_000).values()
+        )
+        assert packed_bytes < plain_bytes / 4
+
+    def test_rle_on_sorted_view(self, orders_data):
+        from repro.compression.base import CodecKind
+
+        view = materialize_view(
+            orders_data,
+            ("O_SHIPPRIORITY", "O_TOTALPRICE"),
+            sort_key="O_SHIPPRIORITY",
+            compress=True,
+            use_rle=True,
+        )
+        spec = view.table.schema.attribute("O_SHIPPRIORITY").spec
+        assert spec.kind is CodecKind.RLE
+        np.testing.assert_array_equal(
+            view.table.read_column("O_SHIPPRIORITY"),
+            np.zeros(orders_data.num_rows, dtype=np.int64),
+        )
+
+    def test_covers(self, orders_data):
+        view = materialize_view(orders_data, ("O_ORDERDATE", "O_TOTALPRICE"))
+        assert view.covers(ScanQuery("ORDERS", select=("O_TOTALPRICE",)))
+        assert not view.covers(ScanQuery("ORDERS", select=("O_CUSTKEY",)))
+
+
+class TestViewRouter:
+    @pytest.fixture
+    def router(self, orders_data, orders_column):
+        router = ViewRouter(orders_column)
+        router.add_view(
+            materialize_view(
+                orders_data, ("O_ORDERDATE", "O_TOTALPRICE"), compress=True
+            )
+        )
+        router.add_view(
+            materialize_view(orders_data, ("O_CUSTKEY", "O_ORDERKEY"))
+        )
+        return router
+
+    def test_routes_to_covering_view(self, router):
+        table, source = router.route(ScanQuery("ORDERS", select=("O_TOTALPRICE",)))
+        assert source != "ORDERS"
+        assert "O_TOTALPRICE" in table.schema.attribute_names
+
+    def test_falls_back_to_base(self, router):
+        table, source = router.route(
+            ScanQuery("ORDERS", select=("O_ORDERPRIORITY",))
+        )
+        assert source == "ORDERS"
+
+    def test_prefers_smallest_view(self, router, orders_data):
+        router.add_view(
+            materialize_view(orders_data, ("O_TOTALPRICE",), name="TINY", compress=True)
+        )
+        _table, source = router.route(ScanQuery("ORDERS", select=("O_TOTALPRICE",)))
+        assert source == "TINY"
+
+    def test_routed_answers_match_base(self, router, orders_data, orders_column):
+        predicate = predicate_for_selectivity(
+            "O_ORDERDATE", orders_data.column("O_ORDERDATE"), 0.20
+        )
+        query = ScanQuery(
+            "ORDERS",
+            select=("O_ORDERDATE", "O_TOTALPRICE"),
+            predicates=(predicate,),
+        )
+        base_result = run_scan(orders_column, query)
+        table, _source = router.route(query)
+        routed = run_scan(table, query)
+        # Same bag of tuples (view row order may differ).
+        assert routed.num_tuples == base_result.num_tuples
+        got = sorted(zip(routed.column("O_ORDERDATE"), routed.column("O_TOTALPRICE")))
+        want = sorted(
+            zip(base_result.column("O_ORDERDATE"), base_result.column("O_TOTALPRICE"))
+        )
+        assert got == want
+
+    def test_foreign_view_rejected(self, orders_column, lineitem_data):
+        router = ViewRouter(orders_column)
+        view = materialize_view(lineitem_data, ("L_PARTKEY",))
+        with pytest.raises(SchemaError):
+            router.add_view(view)

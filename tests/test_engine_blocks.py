@@ -1,0 +1,125 @@
+"""Block and predicate tests."""
+
+import numpy as np
+import pytest
+
+from repro.engine.blocks import Block, concat_blocks, split_into_blocks
+from repro.engine.predicate import (
+    ComparisonOp,
+    Predicate,
+    achieved_selectivity,
+    predicate_for_selectivity,
+)
+from repro.errors import EngineError, PlanError
+
+
+def block(n=10):
+    return Block(
+        columns={"a": np.arange(n), "b": np.arange(n) * 2},
+        positions=np.arange(n, dtype=np.int64),
+    )
+
+
+class TestBlock:
+    def test_length_and_columns(self):
+        b = block(5)
+        assert len(b) == 5
+        assert b.attribute_names == ["a", "b"]
+        np.testing.assert_array_equal(b.column("b"), [0, 2, 4, 6, 8])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(EngineError):
+            Block(columns={"a": np.arange(3)}, positions=np.arange(4))
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(EngineError):
+            block().column("zz")
+
+    def test_with_column(self):
+        extended = block(4).with_column("c", np.ones(4))
+        assert extended.attribute_names == ["a", "b", "c"]
+        with pytest.raises(EngineError):
+            block(4).with_column("c", np.ones(3))
+
+    def test_take(self):
+        mask = np.array([True, False] * 5)
+        taken = block(10).take(mask)
+        assert len(taken) == 5
+        np.testing.assert_array_equal(taken.column("a"), [0, 2, 4, 6, 8])
+        np.testing.assert_array_equal(taken.positions, [0, 2, 4, 6, 8])
+
+    def test_rows(self):
+        rows = block(3).rows()
+        assert rows == [(0, 0), (1, 2), (2, 4)]
+
+
+class TestSplitConcat:
+    def test_split_sizes(self):
+        parts = split_into_blocks(block(250), 100)
+        assert [len(p) for p in parts] == [100, 100, 50]
+
+    def test_split_roundtrips_through_concat(self):
+        original = block(321)
+        rebuilt = concat_blocks(split_into_blocks(original, 64))
+        np.testing.assert_array_equal(rebuilt.column("a"), original.column("a"))
+        np.testing.assert_array_equal(rebuilt.positions, original.positions)
+
+    def test_concat_empty(self):
+        empty = concat_blocks([])
+        assert len(empty) == 0
+
+    def test_concat_mismatched_schemas_rejected(self):
+        other = Block(columns={"x": np.arange(2)}, positions=np.arange(2))
+        with pytest.raises(EngineError):
+            concat_blocks([block(2), other])
+
+    def test_bad_block_size_rejected(self):
+        with pytest.raises(EngineError):
+            split_into_blocks(block(5), 0)
+
+
+class TestPredicate:
+    def test_all_operators(self):
+        values = np.array([1, 2, 3, 4])
+        cases = {
+            ComparisonOp.LT: [True, False, False, False],
+            ComparisonOp.LE: [True, True, False, False],
+            ComparisonOp.GT: [False, False, True, True],
+            ComparisonOp.GE: [False, True, True, True],
+            ComparisonOp.EQ: [False, True, False, False],
+            ComparisonOp.NE: [True, False, True, True],
+        }
+        for op, expected in cases.items():
+            mask = Predicate("a", op, 2).evaluate(values)
+            np.testing.assert_array_equal(mask, expected)
+
+    def test_describe(self):
+        assert Predicate("a", ComparisonOp.LE, 5).describe() == "a <= 5"
+
+
+class TestSelectivityPredicate:
+    def test_hits_target_on_uniform_data(self, rng):
+        values = rng.integers(0, 1_000_000, size=20_000)
+        for target in (0.001, 0.01, 0.10, 0.5):
+            predicate = predicate_for_selectivity("a", values, target)
+            achieved = achieved_selectivity(predicate, values)
+            assert abs(achieved - target) < max(0.01, target * 0.2)
+
+    def test_extremes(self, rng):
+        values = rng.integers(0, 100, size=1000)
+        everything = predicate_for_selectivity("a", values, 1.0)
+        assert achieved_selectivity(everything, values) == 1.0
+        nothing = predicate_for_selectivity("a", values, 0.0)
+        assert achieved_selectivity(nothing, values) == 0.0
+
+    def test_bad_inputs(self):
+        with pytest.raises(PlanError):
+            predicate_for_selectivity("a", np.array([1, 2]), 1.5)
+        with pytest.raises(PlanError):
+            predicate_for_selectivity("a", np.array([], dtype=np.int64), 0.5)
+        with pytest.raises(PlanError):
+            predicate_for_selectivity("a", np.array([b"x"], dtype="S4"), 0.5)
+
+    def test_empty_selectivity_helper(self):
+        predicate = Predicate("a", ComparisonOp.LE, 5)
+        assert achieved_selectivity(predicate, np.array([], dtype=np.int64)) == 0.0

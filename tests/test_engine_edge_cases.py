@@ -1,0 +1,192 @@
+"""Operator edge cases: empty inputs, error paths, odd shapes."""
+
+import numpy as np
+import pytest
+
+from repro.data.generator import GeneratedTable
+from repro.engine.context import ExecutionContext
+from repro.engine.executor import execute_plan, run_scan
+from repro.engine.operators.merge_join import MergeJoin
+from repro.engine.operators.scan_column import ColumnScanner
+from repro.engine.operators.sort import SortOperator
+from repro.engine.plan import ColumnScannerKind, merge_join_plan, scan_plan
+from repro.engine.predicate import ComparisonOp, Predicate
+from repro.engine.query import ScanQuery
+from repro.errors import PlanError
+from repro.storage.layout import Layout
+from repro.storage.loader import load_table
+from repro.types.datatypes import IntType
+from repro.types.schema import Attribute, TableSchema
+
+
+def tiny_table(values_a, values_b, layout=Layout.COLUMN, name="T"):
+    schema = TableSchema(
+        name=name,
+        attributes=(Attribute("a", IntType()), Attribute("b", IntType())),
+    )
+    data = GeneratedTable(
+        schema=schema,
+        columns={
+            "a": np.asarray(values_a, dtype=np.int64),
+            "b": np.asarray(values_b, dtype=np.int64),
+        },
+    )
+    return load_table(data, layout)
+
+
+class TestSingleRowTables:
+    @pytest.mark.parametrize("layout", [Layout.ROW, Layout.COLUMN, Layout.PAX])
+    def test_one_row_scan(self, layout):
+        table = tiny_table([7], [9], layout)
+        result = run_scan(table, ScanQuery("T", select=("a", "b")))
+        assert result.rows() == [(7, 9)]
+
+    def test_one_row_filtered_out(self):
+        table = tiny_table([7], [9])
+        query = ScanQuery(
+            "T", select=("a",), predicates=(Predicate("a", ComparisonOp.GT, 7),)
+        )
+        result = run_scan(table, query)
+        assert result.num_tuples == 0
+
+
+class TestBlockBoundaries:
+    @pytest.mark.parametrize("n", [99, 100, 101, 200, 201])
+    def test_counts_across_block_edges(self, n):
+        table = tiny_table(np.arange(n), np.arange(n) * 2)
+        result = run_scan(table, ScanQuery("T", select=("a", "b")))
+        assert result.num_tuples == n
+        np.testing.assert_array_equal(result.column("a"), np.arange(n))
+
+    def test_tiny_block_size(self):
+        table = tiny_table(np.arange(57), np.arange(57))
+        context = ExecutionContext(block_size=1)
+        result = run_scan(table, ScanQuery("T", select=("a",)), context)
+        assert result.num_tuples == 57
+        assert context.events.blocks_produced >= 57
+
+
+class TestMergeJoinErrors:
+    def test_unsorted_right_rejected(self):
+        left = tiny_table([1, 2, 3], [0, 0, 0], name="L")
+        right = tiny_table([3, 1, 2], [0, 0, 0], name="R")
+        context = ExecutionContext()
+        plan = merge_join_plan(
+            context,
+            left,
+            ScanQuery("L", select=("a",)),
+            right,
+            ScanQuery("R", select=("a",)),
+            left_key="a",
+            right_key="a",
+        )
+        with pytest.raises(PlanError):
+            execute_plan(plan)
+
+    def test_duplicate_left_keys_rejected(self):
+        left = tiny_table([1, 1, 2], [0, 0, 0], name="L")
+        right = tiny_table([1, 2], [0, 0], name="R")
+        plan = merge_join_plan(
+            ExecutionContext(),
+            left,
+            ScanQuery("L", select=("a",)),
+            right,
+            ScanQuery("R", select=("a",)),
+            left_key="a",
+            right_key="a",
+        )
+        with pytest.raises(PlanError):
+            execute_plan(plan)
+
+    def test_unmatched_right_rows_dropped(self):
+        left = tiny_table([2, 4], [20, 40], name="L")
+        right = tiny_table([1, 2, 3, 4, 5], [0, 0, 0, 0, 0], name="R")
+        plan = merge_join_plan(
+            ExecutionContext(),
+            left,
+            ScanQuery("L", select=("a", "b")),
+            right,
+            ScanQuery("R", select=("a",)),
+            left_key="a",
+            right_key="a",
+        )
+        # Output attribute collision on "a" is allowed for the join key
+        # (identical values); here left selects a+b, right selects a.
+        result = execute_plan(plan)
+        np.testing.assert_array_equal(np.sort(result.column("a")), [2, 4])
+
+    def test_empty_side_yields_empty_join(self):
+        left = tiny_table([1], [0], name="L")
+        right = tiny_table([5], [0], name="R")
+        plan = merge_join_plan(
+            ExecutionContext(),
+            left,
+            ScanQuery(
+                "L",
+                select=("a",),
+                predicates=(Predicate("a", ComparisonOp.GT, 100),),
+            ),
+            right,
+            ScanQuery("R", select=("a",)),
+            left_key="a",
+            right_key="a",
+        )
+        result = execute_plan(plan)
+        assert result.num_tuples == 0
+
+
+class TestSortEdges:
+    def test_sort_empty_input(self):
+        table = tiny_table([1], [1])
+        context = ExecutionContext()
+        scan = scan_plan(
+            context,
+            table,
+            ScanQuery(
+                "T",
+                select=("a",),
+                predicates=(Predicate("a", ComparisonOp.GT, 100),),
+            ),
+        )
+        plan = SortOperator(context, scan, key="a")
+        result = execute_plan(plan)
+        assert result.num_tuples == 0
+
+    def test_sort_missing_key_rejected(self):
+        table = tiny_table([3, 1], [0, 0])
+        context = ExecutionContext()
+        scan = scan_plan(context, table, ScanQuery("T", select=("a",)))
+        plan = SortOperator(context, scan, key="b")
+        with pytest.raises(PlanError):
+            execute_plan(plan)
+
+    def test_sort_is_stable(self):
+        table = tiny_table([2, 1, 2, 1], [10, 20, 30, 40])
+        context = ExecutionContext()
+        scan = scan_plan(context, table, ScanQuery("T", select=("a", "b")))
+        result = execute_plan(SortOperator(context, scan, key="a"))
+        np.testing.assert_array_equal(result.column("b"), [20, 40, 10, 30])
+
+
+class TestScannerConstruction:
+    def test_column_scanner_empty_select_rejected(self, orders_column):
+        with pytest.raises(PlanError):
+            ColumnScanner(ExecutionContext(), orders_column, select=())
+
+    def test_reopen_after_close(self):
+        table = tiny_table(np.arange(30), np.arange(30))
+        context = ExecutionContext()
+        plan = scan_plan(context, table, ScanQuery("T", select=("a",)))
+        first = sum(len(b) for b in plan.drain())
+        second = sum(len(b) for b in plan.drain())
+        assert first == second == 30
+
+    def test_fused_scanner_predicate_not_selected(self):
+        table = tiny_table(np.arange(50), np.arange(50) * 3)
+        query = ScanQuery(
+            "T",
+            select=("b",),
+            predicates=(Predicate("a", ComparisonOp.LT, 10),),
+        )
+        result = run_scan(table, query, column_scanner=ColumnScannerKind.FUSED)
+        np.testing.assert_array_equal(result.column("b"), np.arange(10) * 3)

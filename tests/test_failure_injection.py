@@ -1,0 +1,113 @@
+"""Failure injection: corrupt pages and malformed inputs must raise
+library errors, never silently return wrong data."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.compression.base import CodecKind, CodecSpec
+from repro.compression.registry import build_codec
+from repro.data.tpch import generate_orders
+from repro.errors import (
+    CompressionError,
+    PageFormatError,
+    ReproError,
+    StorageError,
+)
+from repro.storage.layout import Layout
+from repro.storage.loader import load_table
+from repro.storage.page import (
+    DEFAULT_PAGE_SIZE,
+    PAGE_TRAILER_BYTES,
+    ColumnPageCodec,
+    RowPageCodec,
+)
+from repro.storage.pagefile import PagedFile
+from repro.types.datatypes import IntType
+
+
+def corrupt_count(page: bytes, new_count: int) -> bytes:
+    """Overwrite the page's entry count."""
+    return struct.pack("<I", new_count) + page[4:]
+
+
+class TestCorruptPages:
+    def test_row_page_with_impossible_count(self, orders_data):
+        codec = RowPageCodec(orders_data.schema)
+        slices = {k: v[:10] for k, v in orders_data.columns.items()}
+        page = codec.encode(0, slices)
+        bad = corrupt_count(page, 100_000)
+        with pytest.raises(PageFormatError):
+            codec.decode(bad)
+
+    def test_column_page_with_impossible_count(self):
+        codec = ColumnPageCodec(
+            build_codec(CodecSpec(kind=CodecKind.PACK, bits=8), IntType())
+        )
+        page = codec.encode(0, np.arange(10))
+        bad = corrupt_count(page, 10**6)
+        with pytest.raises(ReproError):
+            codec.decode(bad)
+
+    def test_truncated_page(self, orders_data):
+        codec = RowPageCodec(orders_data.schema)
+        slices = {k: v[:10] for k, v in orders_data.columns.items()}
+        page = codec.encode(0, slices)
+        with pytest.raises(PageFormatError):
+            codec.decode(page[: DEFAULT_PAGE_SIZE // 2])
+
+    def test_dictionary_code_out_of_range(self):
+        spec = CodecSpec(kind=CodecKind.DICT, bits=4, dictionary=(10, 20, 30))
+        codec = build_codec(spec, IntType())
+        payload, state = codec.encode_page(np.array([10, 20, 30]))
+        # Flip bits so a code exceeds the dictionary.
+        tampered = bytes([0xFF]) + payload[1:]
+        with pytest.raises(CompressionError):
+            codec.decode_page(tampered, 3, state)
+
+    def test_page_trailer_survives_payload_padding(self, orders_data):
+        codec = RowPageCodec(orders_data.schema)
+        slices = {k: v[:1] for k, v in orders_data.columns.items()}
+        page = codec.encode(1234, slices)
+        page_id, rows = codec.decode(page)
+        assert page_id == 1234
+        assert len(rows) == 1
+        assert len(page) == DEFAULT_PAGE_SIZE
+        # Trailer occupies the fixed tail offset.
+        trailer = page[-PAGE_TRAILER_BYTES:]
+        assert struct.unpack("<qq", trailer)[0] == 1234
+
+
+class TestMalformedFiles:
+    def test_mixed_page_sizes_rejected(self):
+        file = PagedFile("t", page_size=256)
+        file.append_page(b"\x00" * 256)
+        with pytest.raises(StorageError):
+            file.append_page(b"\x00" * 512)
+
+    def test_scanning_respects_file_length(self):
+        data = generate_orders(200, seed=1)
+        table = load_table(data, Layout.COLUMN)
+        custkey = table.column_file("O_CUSTKEY")
+        with pytest.raises(StorageError):
+            custkey.file.read_page(custkey.file.num_pages)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        import repro.errors as errors
+
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, ReproError) or obj is ReproError
+
+    def test_one_except_clause_suffices(self, orders_data):
+        codec = RowPageCodec(orders_data.schema)
+        try:
+            codec.decode(b"nope")
+        except ReproError:
+            pass
+        else:  # pragma: no cover
+            pytest.fail("expected a ReproError")

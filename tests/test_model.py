@@ -1,0 +1,214 @@
+"""Analytical-model tests (Section 5 equations)."""
+
+import math
+
+import pytest
+
+from repro.cpusim.calibration import DEFAULT_CALIBRATION
+from repro.errors import CalibrationError
+from repro.model.calibrate import scanner_params_from_measurement
+from repro.model.contour import speedup_grid
+from repro.model.params import HardwareParams, QueryShape, ScannerParams
+from repro.model.rates import (
+    cpu_rate,
+    disk_rate_column,
+    disk_rate_row,
+    operator_rate,
+    parallel_rate,
+    scanner_rate,
+)
+from repro.model.speedup import (
+    SpeedupModel,
+    analytic_scanner_params,
+    crossover_projectivity,
+    speedup,
+)
+from repro.storage.layout import Layout
+
+
+def hardware(cpdb=18.0):
+    return HardwareParams(cpdb=cpdb)
+
+
+class TestParallelRate:
+    def test_paper_example(self):
+        # "one operator processing 4 tuples/sec connected to an operator
+        #  that processes 6 tuples/sec -> 2.4 tuples/sec"
+        assert parallel_rate(4.0, 6.0) == pytest.approx(2.4)
+
+    def test_single_rate_is_identity(self):
+        assert parallel_rate(7.5) == pytest.approx(7.5)
+
+    def test_infinite_rates_ignored(self):
+        assert parallel_rate(math.inf, 4.0) == pytest.approx(4.0)
+        assert parallel_rate(math.inf, math.inf) == math.inf
+
+    def test_zero_rate_dominates(self):
+        assert parallel_rate(0.0, 100.0) == 0.0
+
+    def test_requires_an_argument(self):
+        with pytest.raises(CalibrationError):
+            parallel_rate()
+
+
+class TestRates:
+    def test_operator_rate_eq7(self):
+        assert operator_rate(3.2e9, 100.0) == pytest.approx(3.2e7)
+        assert operator_rate(3.2e9, 0.0) == math.inf
+
+    def test_disk_rate_row_single_file(self):
+        hw = hardware()
+        # rate = BW / width
+        rate = disk_rate_row(hw, [(1_000, 32.0)])
+        assert rate == pytest.approx(hw.disk_bandwidth / 32.0)
+
+    def test_disk_rate_merge_join_weighting(self):
+        # The paper's example: File1 1 GB, File2 10 GB -> one byte of
+        # File1 per ten bytes of File2.
+        hw = hardware()
+        rate = disk_rate_row(hw, [(1_000_000, 1_000.0), (10_000_000, 1_000.0)])
+        assert rate == pytest.approx(
+            hw.disk_bandwidth * 11_000_000 / 11_000_000_000
+        )
+
+    def test_disk_rate_column_projection_factor(self):
+        hw = hardware()
+        # Reading 8 of 32 bytes: f = 4, so 4x the row rate.
+        row = disk_rate_row(hw, [(1_000, 32.0)])
+        column = disk_rate_column(hw, [(1_000, 32.0, 4.0)])
+        assert column == pytest.approx(4 * row)
+
+    def test_scanner_rate_memory_bound(self):
+        hw = hardware()
+        fast_cpu = ScannerParams(i_user=1.0, i_system=0.0, mem_bytes_per_tuple=3200.0)
+        rate = scanner_rate(hw, fast_cpu)
+        # Memory-bound: clock * 1 B/cycle / 3200 B/tuple = 1e6 t/s.
+        assert rate == pytest.approx(1e6, rel=0.01)
+
+    def test_cpu_rate_composes_operators(self):
+        hw = hardware()
+        scanner = ScannerParams(i_user=100.0, i_system=0.0, mem_bytes_per_tuple=0.0)
+        alone = cpu_rate(hw, [scanner])
+        with_op = cpu_rate(hw, [scanner], [100.0])
+        assert with_op == pytest.approx(alone / 2)
+
+    def test_empty_file_set_rejected(self):
+        with pytest.raises(CalibrationError):
+            disk_rate_row(hardware(), [(0, 0.0)])
+
+
+class TestQueryShape:
+    def test_projection_factor(self):
+        shape = QueryShape(32.0, 8.0, 0.1, 8, 2)
+        assert shape.projection_factor == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(CalibrationError):
+            QueryShape(32.0, 40.0, 0.1, 8, 2)  # selected > width
+        with pytest.raises(CalibrationError):
+            QueryShape(32.0, 8.0, 1.5, 8, 2)  # bad selectivity
+        with pytest.raises(CalibrationError):
+            QueryShape(32.0, 8.0, 0.1, 8, 9)  # too many attrs
+
+    def test_hardware_validation(self):
+        with pytest.raises(CalibrationError):
+            HardwareParams(cpdb=0)
+
+    def test_from_calibration(self):
+        hw = HardwareParams.from_calibration(DEFAULT_CALIBRATION)
+        assert hw.cpdb == pytest.approx(DEFAULT_CALIBRATION.cpdb)
+        assert hw.mem_bytes_per_cycle == pytest.approx(1.0)
+
+
+class TestSpeedup:
+    def test_disk_bound_speedup_equals_projection_factor(self):
+        # At huge cpdb (CPU essentially free), speedup = f.
+        model = SpeedupModel()
+        shape = QueryShape(32.0, 8.0, 0.10, 8, 2)
+        assert model.predict(shape, cpdb=100_000) == pytest.approx(4.0, rel=0.01)
+
+    def test_speedup_monotone_in_cpdb(self):
+        model = SpeedupModel()
+        shape = QueryShape(8.0, 4.0, 0.10, 2, 1)
+        values = [model.predict(shape, cpdb=c) for c in (9, 18, 36, 72, 144)]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_rows_win_on_lean_tuples_at_low_cpdb(self):
+        # Figure 2's bottom-left region (50% projection of 8 columns).
+        model = SpeedupModel()
+        shape = QueryShape(4.0, 2.0, 0.10, 8, 4)
+        assert model.predict(shape, cpdb=9) < 1.0
+
+    def test_columns_win_on_wide_tuples(self):
+        model = SpeedupModel()
+        shape = QueryShape(150.0, 75.0, 0.10, 16, 8)
+        assert model.predict(shape, cpdb=18) > 1.5
+
+    def test_full_projection_speedup_near_one_when_disk_bound(self):
+        model = SpeedupModel()
+        shape = QueryShape(150.0, 150.0, 0.10, 16, 16)
+        assert model.predict(shape, cpdb=1_000) == pytest.approx(1.0, abs=0.05)
+
+    def test_crossover_moves_with_cpdb(self):
+        model = SpeedupModel()
+        low = crossover_projectivity(model, 16.0, 4, 0.10, cpdb=9)
+        high = crossover_projectivity(model, 16.0, 4, 0.10, cpdb=144)
+        assert low is not None
+        assert high is None  # disk-bound: columns always win
+
+    def test_analytic_params_row_flat_in_projection(self):
+        narrow = QueryShape(32.0, 4.0, 0.10, 8, 1)
+        wide = QueryShape(32.0, 32.0, 0.10, 8, 8)
+        row_narrow = analytic_scanner_params(narrow, Layout.ROW)
+        row_wide = analytic_scanner_params(wide, Layout.ROW)
+        assert row_wide.mem_bytes_per_tuple == row_narrow.mem_bytes_per_tuple
+        # Only the copy cost grows, slightly.
+        assert row_wide.i_user < row_narrow.i_user * 1.5
+
+    def test_analytic_params_column_grow_with_attrs(self):
+        one = analytic_scanner_params(QueryShape(32.0, 4.0, 0.10, 8, 1), Layout.COLUMN)
+        eight = analytic_scanner_params(QueryShape(32.0, 32.0, 0.10, 8, 8), Layout.COLUMN)
+        assert eight.i_user > one.i_user
+
+
+class TestContour:
+    def test_grid_shape_and_bands(self):
+        model = SpeedupModel()
+        grid = speedup_grid(model, widths=[4, 16, 36], cpdbs=[9, 144])
+        assert grid.values.shape == (2, 3)
+        # High cpdb row should dominate the low cpdb row.
+        assert (grid.values[1] >= grid.values[0] - 1e-9).all()
+        text = grid.render()
+        assert "cpdb" in text
+
+    def test_fig2_qualitative_shape(self):
+        model = SpeedupModel()
+        grid = speedup_grid(model)
+        # Top-right (high cpdb, wide tuples): around 2x for 50% projection.
+        assert grid.values[-1, -1] == pytest.approx(2.0, rel=0.05)
+        # Bottom-left (low cpdb, lean tuples): below 1 — rows win.
+        assert grid.values[0, 0] < 1.0
+
+
+class TestCalibrateFromMeasurement:
+    def test_extracts_per_tuple_costs(self):
+        from repro.cpusim.costmodel import CpuModel
+        from repro.cpusim.events import CostEvents
+
+        events = CostEvents(
+            tuples_examined=1_000,
+            predicate_evals=1_000,
+            mem_seq_lines=250,
+            bytes_read=32_000,
+        )
+        params = scanner_params_from_measurement(events, CpuModel(), 1_000)
+        assert params.i_user > 0
+        assert params.i_system == pytest.approx(32.0, rel=0.01)
+        assert params.mem_bytes_per_tuple == pytest.approx(32.0)
+
+    def test_zero_tuples_rejected(self):
+        from repro.cpusim.costmodel import CpuModel
+        from repro.cpusim.events import CostEvents
+
+        with pytest.raises(CalibrationError):
+            scanner_params_from_measurement(CostEvents(), CpuModel(), 0)

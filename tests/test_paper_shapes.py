@@ -1,0 +1,205 @@
+"""Integration tests: the paper's headline shapes must reproduce.
+
+Each test regenerates (a small-rows version of) one figure and asserts
+the qualitative result the paper reports — who wins, where crossovers
+fall, which components move.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    fig02_contour,
+    fig06_baseline,
+    fig07_selectivity,
+    fig08_narrow,
+    fig09_compression,
+    fig10_prefetch,
+    fig11_competing,
+    model_validation,
+    table1_trends,
+)
+
+ROWS = 3_000
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return fig06_baseline.run(num_rows=ROWS)
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return fig07_selectivity.run(num_rows=ROWS)
+
+
+class TestFigure2:
+    def test_row_advantage_only_lean_and_cpu_bound(self):
+        out = fig02_contour.run()
+        widths = out.series["widths"]
+        # At cpdb >= 72 columns win everywhere.
+        assert min(out.series["cpdb_144"]) > 1.0
+        # At cpdb 9, rows win for lean tuples but lose for wide ones.
+        low = out.series["cpdb_9"]
+        assert low[0] < 1.0  # 4-byte tuples
+        assert low[-1] > 1.0  # 36-byte tuples
+        # Speedup grows with width at fixed cpdb.
+        assert low == sorted(low)
+        assert len(widths) == len(low)
+
+
+class TestFigure6:
+    def test_row_store_flat_in_projectivity(self, fig6):
+        elapsed = fig6.series["row_elapsed"]
+        assert max(elapsed) - min(elapsed) < 0.02 * max(elapsed)
+
+    def test_row_store_io_bound_near_paper_time(self, fig6):
+        # 9.5 GB over 180 MB/s: ~52.5s (the paper plots ~55s).
+        assert fig6.series["row_elapsed"][0] == pytest.approx(52.5, rel=0.05)
+
+    def test_column_store_elapsed_grows_with_bytes(self, fig6):
+        col = fig6.series["col_elapsed"]
+        assert all(b >= a - 1e-6 for a, b in zip(col, col[1:]))
+
+    def test_crossover_above_85_percent_projectivity(self, fig6):
+        bytes_sel = fig6.series["selected_bytes"]
+        row = fig6.series["row_elapsed"]
+        col = fig6.series["col_elapsed"]
+        crossing = [
+            bytes_sel[i] / 150 for i in range(len(col)) if col[i] > row[i]
+        ]
+        assert crossing, "the column store should lose at full projectivity"
+        assert min(crossing) >= 0.85
+
+    def test_column_cpu_exceeds_row_cpu_at_high_projectivity(self, fig6):
+        assert fig6.series["col_cpu"][-1] > fig6.series["row_cpu"][-1]
+
+    def test_string_attributes_add_l2_component(self, fig6):
+        l2 = fig6.series["col_l2"]
+        # Attributes 9-11 are the strings; the L2 component must jump.
+        assert l2[10] > l2[7] + 0.2
+
+
+class TestFigure7:
+    def test_low_selectivity_flattens_column_cpu(self, fig6, fig7):
+        cpu_01 = fig7.series["col_cpu"]
+        cpu_10 = fig6.series["col_cpu"]
+        # Growth from 1 to 16 attributes (sys time excluded: compare
+        # against the growth at 10% selectivity).
+        growth_01 = cpu_01[-1] - cpu_01[0]
+        growth_10 = cpu_10[-1] - cpu_10[0]
+        assert growth_01 < 0.5 * growth_10
+
+    def test_io_unchanged_by_selectivity(self, fig6, fig7):
+        np.testing.assert_allclose(
+            fig7.series["col_elapsed"][-1], fig6.series["col_elapsed"][-1], rtol=0.02
+        )
+
+    def test_string_memory_delays_disappear(self, fig7):
+        l2 = fig7.series["col_l2"]
+        assert max(l2) < 0.3
+
+
+class TestFigure8:
+    def test_narrow_tuples_hide_memory_delays(self):
+        out = fig08_narrow.run(num_rows=ROWS)
+        assert max(out.series["col_l2"]) < 0.05
+        # Row scan of 1.9 GB: ~10.8 s.
+        assert out.series["row_elapsed"][0] == pytest.approx(10.8, rel=0.05)
+
+    def test_column_cpu_overtakes_row_cpu(self):
+        out = fig08_narrow.run(num_rows=ROWS)
+        assert out.series["col_cpu"][-1] > out.series["row_cpu"][-1]
+
+
+class TestFigure9:
+    @pytest.fixture(scope="class")
+    def fig9(self):
+        return fig09_compression.run(num_rows=ROWS)
+
+    def test_column_store_becomes_cpu_bound(self, fig9):
+        # Elapsed ~= CPU for the compressed column store.
+        np.testing.assert_allclose(
+            fig9.series["col_delta_elapsed"], fig9.series["col_delta_cpu"], rtol=0.01
+        )
+
+    def test_for_delta_jumps_at_second_attribute(self, fig9):
+        delta_cpu = fig9.series["col_delta_cpu"]
+        for_cpu = fig9.series["col_for_cpu"]
+        jump_delta = delta_cpu[1] - delta_cpu[0]
+        jump_for = for_cpu[1] - for_cpu[0]
+        assert jump_delta > jump_for
+
+    def test_row_store_cpu_rises_with_decompression(self, fig9):
+        row_cpu = fig9.series["row_cpu"]
+        assert row_cpu[-1] > row_cpu[0]
+
+    def test_crossover_moves_left_vs_uncompressed(self, fig9):
+        plain = fig08_narrow.run(num_rows=ROWS)
+
+        def crossover(out, col_key):
+            for sel, row, col in zip(
+                out.series["selected_bytes"],
+                out.series["row_elapsed"],
+                out.series[col_key],
+            ):
+                if col > row:
+                    return sel
+            return None
+
+        packed_cross = crossover(fig9, "col_delta_elapsed")
+        plain_cross = crossover(plain, "col_elapsed")
+        assert packed_cross is not None
+        assert plain_cross is None or packed_cross < plain_cross
+
+
+class TestFigure10:
+    def test_prefetch_ordering(self):
+        out = fig10_prefetch.run(num_rows=ROWS)
+        # At full projectivity, smaller prefetch = slower column store.
+        last = -1
+        previous = None
+        for depth in (2, 4, 8, 16, 48):
+            value = out.series[f"col_depth_{depth}"][last]
+            if previous is not None:
+                assert value < previous
+            previous = value
+        # The row store is untouched by prefetch depth and flat.
+        row = out.series["row_elapsed"]
+        assert max(row) - min(row) < 1e-6
+
+
+class TestFigure11:
+    @pytest.fixture(scope="class")
+    def fig11(self):
+        return fig11_competing.run(num_rows=ROWS)
+
+    @pytest.mark.parametrize("depth", [48, 8, 2])
+    def test_column_beats_row_in_all_configurations(self, fig11, depth):
+        row = fig11.series[f"row_{depth}"]
+        col = fig11.series[f"col_{depth}"]
+        assert all(c < r for c, r in zip(col, row))
+
+    @pytest.mark.parametrize("depth", [48, 8, 2])
+    def test_slow_variant_loses_its_edge(self, fig11, depth):
+        fast = fig11.series[f"col_{depth}"]
+        slow = fig11.series[f"col_slow_{depth}"]
+        assert all(s >= f for f, s in zip(fast, slow))
+        # At full projectivity the slow variant approaches the row store.
+        row_last = fig11.series[f"row_{depth}"][-1]
+        assert slow[-1] == pytest.approx(row_last, rel=0.15)
+
+
+class TestTable1:
+    def test_all_trends_hold(self):
+        out = table1_trends.run(num_rows=ROWS)
+        assert all(v == 1.0 for v in out.series["holds"])
+
+
+class TestModelValidation:
+    def test_model_within_25_percent(self):
+        out = model_validation.run(num_rows=ROWS)
+        measured = np.array(out.series["measured"])
+        predicted = np.array(out.series["predicted"])
+        rel_err = np.abs(predicted - measured) / measured
+        assert rel_err.max() < 0.25

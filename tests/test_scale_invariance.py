@@ -1,0 +1,71 @@
+"""Methodology invariant: results must not depend on the sample size.
+
+The engine executes on a small materialized table and scales event
+counts to paper cardinality.  If the methodology is sound, measuring
+with 2 000 or 6 000 materialized rows must produce (nearly) the same
+paper-scale numbers — differences come only from quantile-predicate
+granularity and last-page effects.
+"""
+
+import pytest
+
+from repro.engine.query import ScanQuery
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import measure_scan
+from repro.experiments.workloads import prepare_lineitem, prepare_orders
+
+SIZES = (2_000, 6_000)
+
+
+def measure_at(num_rows, table_kind, k, selectivity, layout):
+    if table_kind == "lineitem":
+        prepared = prepare_lineitem(num_rows, seed=55)
+        pred_attr = "L_PARTKEY"
+        name = "LINEITEM"
+    else:
+        prepared = prepare_orders(num_rows, seed=55)
+        pred_attr = "O_ORDERDATE"
+        name = "ORDERS"
+    predicate = prepared.predicate(pred_attr, selectivity)
+    query = ScanQuery(
+        name, select=prepared.attrs_prefix(k), predicates=(predicate,)
+    )
+    table = prepared.row if layout == "row" else prepared.column
+    return measure_scan(table, query, ExperimentConfig())
+
+
+class TestScaleInvariance:
+    @pytest.mark.parametrize("layout", ["row", "column"])
+    @pytest.mark.parametrize("table_kind,k", [("lineitem", 8), ("orders", 4)])
+    def test_elapsed_independent_of_sample_size(self, table_kind, k, layout):
+        values = [
+            measure_at(size, table_kind, k, 0.10, layout).elapsed
+            for size in SIZES
+        ]
+        assert values[1] == pytest.approx(values[0], rel=0.05)
+
+    @pytest.mark.parametrize("layout", ["row", "column"])
+    def test_cpu_breakdown_independent_of_sample_size(self, layout):
+        breakdowns = [
+            measure_at(size, "lineitem", 8, 0.10, layout).cpu.as_dict()
+            for size in SIZES
+        ]
+        for key in breakdowns[0]:
+            assert breakdowns[1][key] == pytest.approx(
+                breakdowns[0][key], rel=0.10, abs=0.05
+            ), key
+
+    def test_io_bytes_exactly_scale(self):
+        values = [
+            measure_at(size, "orders", 4, 0.10, "column").bytes_read
+            for size in SIZES
+        ]
+        assert values[1] == pytest.approx(values[0], rel=0.01)
+
+    def test_speedup_stable(self):
+        speedups = []
+        for size in SIZES:
+            row = measure_at(size, "lineitem", 8, 0.10, "row")
+            col = measure_at(size, "lineitem", 8, 0.10, "column")
+            speedups.append(row.elapsed / col.elapsed)
+        assert speedups[1] == pytest.approx(speedups[0], rel=0.05)

@@ -1,0 +1,110 @@
+"""Save/load round-trip tests for on-disk persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.compression.rle import RleCodec
+from repro.engine.executor import run_scan
+from repro.engine.predicate import predicate_for_selectivity
+from repro.engine.query import ScanQuery
+from repro.errors import StorageError
+from repro.storage.layout import Layout
+from repro.storage.loader import load_table
+from repro.storage.persist import open_table, save_table
+
+
+@pytest.mark.parametrize("layout", [Layout.ROW, Layout.COLUMN, Layout.PAX])
+def test_roundtrip_uncompressed(layout, orders_data, tmp_path):
+    table = load_table(orders_data, layout)
+    save_table(table, tmp_path / "orders")
+    loaded = open_table(tmp_path / "orders")
+    assert loaded.layout is layout
+    assert loaded.num_rows == table.num_rows
+    for name in orders_data.schema.attribute_names:
+        np.testing.assert_array_equal(
+            loaded.read_column(name), orders_data.column(name)
+        )
+
+
+@pytest.mark.parametrize("layout", [Layout.ROW, Layout.COLUMN, Layout.PAX])
+def test_roundtrip_compressed(layout, orders_z_data, tmp_path):
+    table = load_table(orders_z_data, layout)
+    save_table(table, tmp_path / "orders_z")
+    loaded = open_table(tmp_path / "orders_z")
+    # Dictionary specs survive, including byte values.
+    spec = loaded.schema.attribute("O_ORDERPRIORITY").spec
+    assert spec.dictionary
+    assert all(isinstance(v, bytes) for v in spec.dictionary)
+    for name in orders_z_data.schema.attribute_names:
+        np.testing.assert_array_equal(
+            loaded.read_column(name), orders_z_data.column(name)
+        )
+
+
+def test_roundtrip_rle_page_directory(lineitem_data, tmp_path):
+    spec = RleCodec.spec_for_values(lineitem_data.column("L_ORDERKEY"))
+    packed = lineitem_data.with_schema(
+        lineitem_data.schema.with_codecs({"L_ORDERKEY": spec})
+    )
+    table = load_table(packed, Layout.COLUMN)
+    save_table(table, tmp_path / "li")
+    loaded = open_table(tmp_path / "li")
+    column_file = loaded.column_file("L_ORDERKEY")
+    assert column_file.first_rows is not None
+    assert column_file.effective_bits is not None
+    np.testing.assert_array_equal(
+        loaded.read_column("L_ORDERKEY"), lineitem_data.column("L_ORDERKEY")
+    )
+
+
+def test_queries_work_on_reloaded_table(orders_data, tmp_path):
+    table = load_table(orders_data, Layout.COLUMN)
+    predicate = predicate_for_selectivity(
+        "O_ORDERDATE", orders_data.column("O_ORDERDATE"), 0.10
+    )
+    query = ScanQuery(
+        "ORDERS", select=("O_ORDERDATE", "O_CUSTKEY"), predicates=(predicate,)
+    )
+    before = run_scan(table, query)
+    save_table(table, tmp_path / "t")
+    after = run_scan(open_table(tmp_path / "t"), query)
+    np.testing.assert_array_equal(before.positions, after.positions)
+    np.testing.assert_array_equal(
+        before.column("O_CUSTKEY"), after.column("O_CUSTKEY")
+    )
+
+
+def test_missing_metadata_rejected(tmp_path):
+    with pytest.raises(StorageError):
+        open_table(tmp_path)
+
+
+def test_bad_version_rejected(orders_data, tmp_path):
+    table = load_table(orders_data, Layout.ROW)
+    save_table(table, tmp_path / "t")
+    meta_path = tmp_path / "t" / "meta.json"
+    meta = json.loads(meta_path.read_text())
+    meta["format_version"] = 999
+    meta_path.write_text(json.dumps(meta))
+    with pytest.raises(StorageError):
+        open_table(tmp_path / "t")
+
+
+def test_truncated_pages_rejected(orders_data, tmp_path):
+    table = load_table(orders_data, Layout.ROW)
+    save_table(table, tmp_path / "t")
+    pages = tmp_path / "t" / "table.pages"
+    pages.write_bytes(pages.read_bytes()[:-100])
+    with pytest.raises(StorageError):
+        open_table(tmp_path / "t")
+
+
+def test_directory_listing(orders_data, tmp_path):
+    table = load_table(orders_data, Layout.COLUMN)
+    save_table(table, tmp_path / "t")
+    names = {p.name for p in (tmp_path / "t").iterdir()}
+    assert "meta.json" in names
+    assert "O_ORDERKEY.pages" in names
+    assert len(names) == 1 + len(orders_data.schema)

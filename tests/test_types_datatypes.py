@@ -1,0 +1,73 @@
+"""Attribute-type tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.types.datatypes import FixedTextType, IntType
+
+
+class TestIntType:
+    def test_width_is_four_bytes(self):
+        assert IntType().width == 4
+
+    def test_roundtrip(self):
+        t = IntType()
+        values = np.array([0, 1, -1, 2**31 - 1, -(2**31)])
+        encoded = t.encode_values(values)
+        assert len(encoded) == 4 * len(values)
+        np.testing.assert_array_equal(t.decode_values(encoded, len(values)), values)
+
+    def test_decoded_dtype_is_int64(self):
+        t = IntType()
+        out = t.decode_values(t.encode_values(np.array([5])), 1)
+        assert out.dtype == np.int64
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(SchemaError):
+            IntType().encode_values(np.array([2**31]))
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(SchemaError):
+            IntType().validate(np.array([1.5]))
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(SchemaError):
+            IntType().decode_values(b"\x00\x01", 1)
+
+    def test_equality_and_hash(self):
+        assert IntType() == IntType()
+        assert hash(IntType()) == hash(IntType())
+        assert IntType() != FixedTextType(4)
+
+
+class TestFixedTextType:
+    def test_roundtrip_with_padding(self):
+        t = FixedTextType(10)
+        values = np.array([b"AIR", b"REG AIR", b""], dtype="S10")
+        encoded = t.encode_values(values)
+        assert len(encoded) == 30
+        np.testing.assert_array_equal(t.decode_values(encoded, 3), values)
+
+    def test_width_validation(self):
+        with pytest.raises(SchemaError):
+            FixedTextType(0)
+        with pytest.raises(SchemaError):
+            FixedTextType(-3)
+
+    def test_too_long_value_rejected(self):
+        t = FixedTextType(3)
+        with pytest.raises(SchemaError):
+            t.encode_values(np.array([b"ABCD"], dtype="S4"))
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(SchemaError):
+            FixedTextType(4).validate(np.array([1, 2]))
+
+    def test_equality_depends_on_width(self):
+        assert FixedTextType(5) == FixedTextType(5)
+        assert FixedTextType(5) != FixedTextType(6)
+
+    def test_is_integer_flag(self):
+        assert IntType().is_integer
+        assert not FixedTextType(4).is_integer

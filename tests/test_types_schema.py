@@ -1,0 +1,100 @@
+"""Schema tests, including the paper's Figure 5 widths."""
+
+import pytest
+
+from repro.compression.base import CodecKind, CodecSpec
+from repro.data.tpch import lineitem_schema, orders_schema
+from repro.errors import SchemaError
+from repro.types.datatypes import FixedTextType, IntType
+from repro.types.schema import Attribute, TableSchema
+
+
+def make_schema():
+    return TableSchema(
+        name="T",
+        attributes=(
+            Attribute("a", IntType()),
+            Attribute("b", FixedTextType(10)),
+            Attribute("c", IntType()),
+        ),
+    )
+
+
+class TestTableSchema:
+    def test_tuple_width_sums_attributes(self):
+        assert make_schema().tuple_width == 18
+
+    def test_row_stride_pads_to_alignment(self):
+        assert make_schema().row_stride == 24  # 18 -> 24
+
+    def test_lineitem_is_150_bytes_padded_to_152(self):
+        schema = lineitem_schema()
+        assert schema.tuple_width == 150
+        assert schema.row_stride == 152
+        assert len(schema) == 16
+
+    def test_orders_is_32_bytes_unpadded(self):
+        schema = orders_schema()
+        assert schema.tuple_width == 32
+        assert schema.row_stride == 32
+        assert len(schema) == 7
+
+    def test_attribute_lookup(self):
+        schema = make_schema()
+        assert schema.attribute("b").width == 10
+        assert schema.index_of("c") == 2
+        with pytest.raises(SchemaError):
+            schema.attribute("missing")
+        with pytest.raises(SchemaError):
+            schema.index_of("missing")
+
+    def test_attribute_offset(self):
+        schema = make_schema()
+        assert schema.attribute_offset("a") == 0
+        assert schema.attribute_offset("b") == 4
+        assert schema.attribute_offset("c") == 14
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                name="T",
+                attributes=(
+                    Attribute("a", IntType()),
+                    Attribute("a", IntType()),
+                ),
+            )
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(name="T", attributes=())
+
+    def test_invalid_attribute_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("not valid", IntType())
+
+    def test_with_codecs(self):
+        schema = make_schema()
+        spec = CodecSpec(kind=CodecKind.PACK, bits=6)
+        updated = schema.with_codecs({"a": spec})
+        assert updated.attribute("a").spec == spec
+        assert not updated.attribute("c").spec.is_compressed
+        # original untouched
+        assert schema.attribute("a").codec_spec is None
+
+    def test_with_codecs_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            make_schema().with_codecs({"zz": CodecSpec(kind=CodecKind.PACK, bits=2)})
+
+    def test_packed_width_defaults_to_uncompressed(self):
+        schema = make_schema()
+        assert schema.packed_tuple_bits == 18 * 8
+
+    def test_project_preserves_order(self):
+        schema = make_schema().project(["c", "a"])
+        assert schema.attribute_names == ("c", "a")
+        assert schema.tuple_width == 8
+
+    def test_describe_mentions_every_attribute(self):
+        text = make_schema().describe()
+        for name in ("a", "b", "c"):
+            assert name in text

@@ -1,0 +1,35 @@
+"""Unit-helper tests."""
+
+import pytest
+
+from repro.units import bits_to_bytes, fmt_bytes, fmt_seconds
+
+
+class TestBitsToBytes:
+    def test_exact_bytes(self):
+        assert bits_to_bytes(8) == 1
+        assert bits_to_bytes(64) == 8
+
+    def test_rounds_up(self):
+        assert bits_to_bytes(1) == 1
+        assert bits_to_bytes(9) == 2
+        assert bits_to_bytes(92) == 12  # ORDERS-Z
+
+    def test_zero(self):
+        assert bits_to_bytes(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes(-1)
+
+
+class TestFormatting:
+    def test_fmt_bytes_scales(self):
+        assert fmt_bytes(512) == "512 B"
+        assert fmt_bytes(9.5e9) == "9.5 GB"
+        assert fmt_bytes(1_935_118_336).endswith("GB")
+
+    def test_fmt_seconds_scales(self):
+        assert fmt_seconds(52.5) == "52.50 s"
+        assert fmt_seconds(0.008) == "8.00 ms"
+        assert fmt_seconds(5e-6).endswith("us")
