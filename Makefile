@@ -2,7 +2,7 @@
 # PEP 660 editable builds; in offline environments without it, the
 # legacy `setup.py develop` path below installs identically.
 
-.PHONY: install test bench experiments experiments-md all
+.PHONY: install test bench scrub experiments experiments-md all
 
 install:
 	pip install -e . 2>/dev/null || python setup.py develop
@@ -12,6 +12,11 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Integrity self-test: inject seeded faults into a scratch table and
+# require the scrubber to pinpoint every one.
+scrub:
+	python -m repro.storage.scrub --self-test
 
 experiments:
 	python -m repro.experiments

@@ -1,0 +1,81 @@
+"""Ablation — CRC32 page verification on vs off, measured scan time.
+
+Every page decode verifies the trailer CRC (the integrity default).
+This bench measures what that verification costs per layout by timing
+real full-table scans with verification enabled and disabled
+(:func:`repro.storage.page.set_checksum_verification`), reporting
+throughput and the relative overhead.  Unlike the paper-figure benches
+this measures wall-clock time of this implementation, not the paper's
+cost model — the question is about our own read path.
+"""
+
+import time
+
+from _common import BENCH_ROWS, publish, run_once
+
+from repro.data.tpch import generate_orders
+from repro.engine.executor import run_scan
+from repro.engine.query import ScanQuery
+from repro.experiments.report import ExperimentOutput, FigureResult
+from repro.storage.layout import Layout
+from repro.storage.loader import load_table
+from repro.storage.page import set_checksum_verification
+
+LAYOUTS = (Layout.ROW, Layout.COLUMN, Layout.PAX)
+REPEATS = 5
+
+
+def _time_scan(table, query) -> tuple[float, int]:
+    """Best-of-N wall time for one full scan, plus the rows returned."""
+    best = float("inf")
+    tuples = 0
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = run_scan(table, query)
+        best = min(best, time.perf_counter() - start)
+        tuples = result.num_tuples
+    return best, tuples
+
+
+def run_ablation(num_rows: int) -> ExperimentOutput:
+    data = generate_orders(num_rows, seed=17)
+    select = tuple(data.schema.attribute_names)
+    query = ScanQuery("ORDERS", select=select)
+    table_out = FigureResult(
+        title=f"Full scan of {num_rows} rows: CRC verification on vs off",
+        headers=["layout", "verify on (ms)", "verify off (ms)", "overhead"],
+    )
+    series = {"on": [], "off": []}
+    for layout in LAYOUTS:
+        table = load_table(data, layout)
+        on_time, on_tuples = _time_scan(table, query)
+        previous = set_checksum_verification(False)
+        try:
+            off_time, off_tuples = _time_scan(table, query)
+        finally:
+            set_checksum_verification(previous)
+        assert on_tuples == off_tuples == num_rows
+        overhead = on_time / off_time - 1.0
+        table_out.add_row(
+            layout.value,
+            round(on_time * 1e3, 2),
+            round(off_time * 1e3, 2),
+            f"{overhead:+.1%}",
+        )
+        series["on"].append(on_time)
+        series["off"].append(off_time)
+    return ExperimentOutput(
+        name="Ablation: page checksum verification cost",
+        tables=[table_out],
+        series=series,
+    )
+
+
+def bench_ablation_checksum(benchmark):
+    out = run_once(benchmark, lambda: run_ablation(BENCH_ROWS))
+    publish(out, "ablation_checksum.txt")
+    # Verification must never be catastrophically expensive: CRC32 over
+    # a 4 KB page is memory-bandwidth-bound, so a full scan should stay
+    # within a small multiple of the unverified scan on every layout.
+    for on_time, off_time in zip(out.series["on"], out.series["off"]):
+        assert on_time < off_time * 5

@@ -23,11 +23,12 @@ from repro.engine.context import ExecutionContext
 from repro.engine.executor import QueryResult, run_scan
 from repro.engine.predicate import Predicate, predicate_for_selectivity
 from repro.engine.query import ScanQuery
-from repro.errors import PlanError, StorageError
+from repro.errors import ChecksumError, PlanError, StorageError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ScanMeasurement, measure_scan
 from repro.storage.layout import Layout
 from repro.storage.loader import load_table
+from repro.storage.scrub import CorruptionReport, scrub_table
 from repro.storage.table import Table
 
 
@@ -127,8 +128,15 @@ class Database:
         layout: Layout | None = None,
         use_views: bool = True,
         context: ExecutionContext | None = None,
+        salvage: bool = False,
     ) -> QueryResult:
-        """Execute a scan, optionally routed to a covering view."""
+        """Execute a scan, optionally routed to a covering view.
+
+        Strict by default: a corrupt page aborts the query with
+        :class:`~repro.errors.ChecksumError`.  With ``salvage=True`` the
+        scan skips corrupt pages and reports them through
+        ``QueryResult.corruption`` instead.
+        """
         entry = self._entry(table)
         scan = ScanQuery(table, select=select, predicates=predicates)
         target: Table
@@ -138,7 +146,7 @@ class Database:
             target, _source = entry.router.route(scan)
         else:
             target = entry.tables[self.layouts[0]]
-        return run_scan(target, scan, context)
+        return run_scan(target, scan, context, salvage=salvage)
 
     def predicate(self, table: str, attr: str, selectivity: float) -> Predicate:
         """A selectivity-calibrated predicate over registered data."""
@@ -146,6 +154,40 @@ class Database:
         return predicate_for_selectivity(
             attr, entry.data.column(attr), selectivity
         )
+
+    # --- integrity -----------------------------------------------------------
+
+    def scrub(self, table: str | None = None) -> dict[str, CorruptionReport]:
+        """Sweep every page of every stored table (and view).
+
+        Decodes each page of each materialized layout and of every
+        registered materialized view, returning one
+        :class:`~repro.storage.scrub.CorruptionReport` per swept
+        relation, keyed ``TABLE:layout`` / ``VIEW:view``.
+        """
+        names = [table] if table is not None else self.tables()
+        reports: dict[str, CorruptionReport] = {}
+        for name in names:
+            entry = self._entry(name)
+            for layout, materialized in entry.tables.items():
+                reports[f"{name}:{layout.value}"] = scrub_table(materialized)
+            for view in entry.router.views:
+                reports[f"{name}:{view.name}"] = scrub_table(view.table)
+        return reports
+
+    def verify(self, table: str | None = None) -> int:
+        """Strict sweep: raises ChecksumError if any page is corrupt.
+
+        Returns the total number of pages verified when clean.
+        """
+        reports = self.scrub(table)
+        dirty = {key: report for key, report in reports.items() if not report.is_clean}
+        if dirty:
+            details = "; ".join(
+                f"{key}: {report.summary()}" for key, report in dirty.items()
+            )
+            raise ChecksumError(f"database verification failed: {details}")
+        return sum(report.pages_scanned for report in reports.values())
 
     # --- what-if -------------------------------------------------------------
 

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from repro.cpusim.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.cpusim.events import CostEvents
 from repro.engine.blocks import DEFAULT_BLOCK_SIZE
+from repro.storage.scrub import CorruptionReport
 
 
 @dataclass
@@ -19,8 +20,16 @@ class ExecutionContext:
     #: possible, decoding only qualifying values (extension; see
     #: :mod:`repro.engine.compressed_exec`).
     compressed_execution: bool = False
+    #: Strict (default): an undecodable page aborts the query with
+    #: :class:`~repro.errors.ChecksumError`.  Salvage (``False``): the
+    #: page is skipped, its rows are dropped consistently across every
+    #: scan node, and the damage lands in :attr:`corruption`.
+    strict_integrity: bool = True
     events: CostEvents = field(default_factory=CostEvents)
+    #: Pages skipped by salvage-mode scans during this execution.
+    corruption: CorruptionReport = field(default_factory=CorruptionReport)
 
     def reset_events(self) -> None:
         """Fresh counters (e.g. between repeated executions)."""
         self.events = CostEvents()
+        self.corruption = CorruptionReport()

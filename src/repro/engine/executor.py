@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -12,6 +12,7 @@ from repro.engine.context import ExecutionContext
 from repro.engine.operators.base import Operator
 from repro.engine.plan import ColumnScannerKind, scan_plan
 from repro.engine.query import ScanQuery
+from repro.storage.scrub import CorruptionReport
 from repro.storage.table import Table
 
 
@@ -22,10 +23,18 @@ class QueryResult:
     columns: dict[str, np.ndarray]
     positions: np.ndarray
     events: CostEvents
+    #: Pages skipped while producing this result (salvage-mode scans);
+    #: empty/clean under strict integrity, where corruption aborts.
+    corruption: CorruptionReport = field(default_factory=CorruptionReport)
 
     @property
     def num_tuples(self) -> int:
         return len(self.positions)
+
+    @property
+    def is_complete(self) -> bool:
+        """True when no page was skipped to produce this result."""
+        return self.corruption.is_clean
 
     def column(self, name: str) -> np.ndarray:
         return self.columns[name]
@@ -50,6 +59,7 @@ def execute_plan(plan: Operator) -> QueryResult:
         columns=merged.columns,
         positions=merged.positions,
         events=plan.context.events,
+        corruption=plan.context.corruption,
     )
 
 
@@ -58,8 +68,16 @@ def run_scan(
     query: ScanQuery,
     context: ExecutionContext | None = None,
     column_scanner: ColumnScannerKind = ColumnScannerKind.PIPELINED,
+    salvage: bool = False,
 ) -> QueryResult:
-    """Plan and execute one scan query against a table."""
+    """Plan and execute one scan query against a table.
+
+    With ``salvage=True`` the scan degrades instead of aborting on
+    corrupt pages: their rows are skipped consistently across scan
+    nodes and tallied in :attr:`QueryResult.corruption`.
+    """
     context = context or ExecutionContext()
+    if salvage:
+        context.strict_integrity = False
     plan = scan_plan(context, table, query, column_scanner)
     return execute_plan(plan)

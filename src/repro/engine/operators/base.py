@@ -11,7 +11,12 @@ import abc
 
 from repro.engine.blocks import Block
 from repro.engine.context import ExecutionContext
-from repro.errors import EngineError
+from repro.errors import CompressionError, EngineError, StorageError
+
+#: What salvage mode treats as "this page is corrupt, skip it": checksum
+#: mismatches, malformed page bytes, codec failures, missing pages, and
+#: transient faults whose retry budget is exhausted.
+SALVAGEABLE_ERRORS = (StorageError, CompressionError)
 
 
 class Operator(abc.ABC):
@@ -24,6 +29,25 @@ class Operator(abc.ABC):
     @property
     def events(self):
         return self.context.events
+
+    def _salvage_decode(self, decode, file_name: str, page_index: int, row_span: int):
+        """Run one page read+decode under the integrity policy.
+
+        Strict mode lets any error propagate (a checksum mismatch aborts
+        the query).  Salvage mode records the fault — with the page's
+        nominal row span as the loss estimate — and returns ``None`` so
+        the caller skips the page while keeping position accounting
+        consistent.
+        """
+        try:
+            result = decode()
+        except SALVAGEABLE_ERRORS as exc:
+            if self.context.strict_integrity:
+                raise
+            self.context.corruption.record(file_name, page_index, row_span, exc)
+            return None
+        self.context.corruption.pages_scanned += 1
+        return result
 
     def open(self) -> None:
         """Prepare for iteration; children are opened first."""

@@ -137,15 +137,33 @@ class ColumnScanner(Operator):
         events = self.events
         calibration = self.context.calibration
         spec = self.table.schema.attribute(node.attr).spec
-        codec = node.column_file.page_codec.codec
+        page_codec = node.column_file.page_codec
+        codec = page_codec.codec
         bits = codec.bits_per_value
         code_predicates = self._code_predicates(node, codec)
         qualified_positions = []
         qualified_values = []
         row_base = 0
-        for page in node.column_file.file.iter_pages():
-            page_codec = node.column_file.page_codec
-            _pid, count, payload, state = page_codec.decode_raw(page)
+        file = node.column_file.file
+        for page_index in range(file.num_pages):
+            span = node.column_file.row_span_of_page(page_index, self.table.num_rows)
+
+            def decode(page_index=page_index):
+                _pid, count, payload, state = page_codec.decode_raw(
+                    file.read_page(page_index)
+                )
+                if code_predicates is not None:
+                    return count, codec.decode_codes(payload, count)
+                return count, codec.decode_page(payload, count, state)
+
+            decoded = self._salvage_decode(decode, file.name, page_index, span)
+            if decoded is None:
+                # Salvage: the page's rows vanish from the position
+                # list; advancing by the nominal span keeps every later
+                # node's position→page mapping aligned.
+                row_base += span
+                continue
+            count, data = decoded
 
             events.pages_touched += 1
             events.values_examined += count
@@ -157,7 +175,7 @@ class ColumnScanner(Operator):
                 # Compressed execution: compare the packed codes; the
                 # only work per value is the bit extraction, and the
                 # comparison operand is the narrow code, not the value.
-                codes = codec.decode_codes(payload, count)
+                codes = data
                 events.count_decode(CodecKind.PACK, count)
                 code_bytes = max(1, codec.bits_per_value // 8)
                 for index, code_predicate in enumerate(code_predicates):
@@ -173,7 +191,7 @@ class ColumnScanner(Operator):
                 else:
                     values = np.zeros(0, dtype=codec.attr_type.numpy_dtype())
             else:
-                values = codec.decode_page(payload, count, state)
+                values = data
                 events.count_decode(spec.kind, count)
                 for index, predicate in enumerate(node.predicates):
                     candidates = count if index == 0 else int(np.count_nonzero(mask))
@@ -228,16 +246,35 @@ class ColumnScanner(Operator):
         values = np.zeros(0, dtype=codec.attr_type.numpy_dtype())
         if positions.size:
             page_ids = node.column_file.page_of_positions(positions)
+            keep = np.ones(positions.size, dtype=bool)
             chunks = []
             for page_id in np.unique(page_ids):
-                in_page = positions[
-                    page_ids == page_id
-                ] - node.column_file.first_row_of_page(int(page_id))
-                page = node.column_file.file.read_page(int(page_id))
-                _pid, count, payload, state = node.column_file.page_codec.decode_raw(page)
-                page_values, decoded = codec.decode_positions(
-                    payload, count, state, in_page
+                selector = page_ids == page_id
+                in_page = positions[selector] - node.column_file.first_row_of_page(
+                    int(page_id)
                 )
+
+                def decode(page_id=page_id, in_page=in_page):
+                    page = node.column_file.file.read_page(int(page_id))
+                    _pid, count, payload, state = (
+                        node.column_file.page_codec.decode_raw(page)
+                    )
+                    page_values, decoded = codec.decode_positions(
+                        payload, count, state, in_page
+                    )
+                    return count, page_values, decoded
+
+                result = self._salvage_decode(
+                    decode, node.column_file.file.name, int(page_id), int(in_page.size)
+                )
+                if result is None:
+                    # Salvage: this column cannot supply these rows, so
+                    # they are dropped from the pipeline — the position
+                    # list and every already-collected column shrink in
+                    # lockstep below.
+                    keep &= ~selector
+                    continue
+                count, page_values, decoded = result
                 chunks.append(page_values)
 
                 events.pages_touched += 1
@@ -251,7 +288,11 @@ class ColumnScanner(Operator):
                     in_page, count, bits, calibration.l1_line_bytes
                 )
                 events.l1_lines += l1_seq + l1_rand
-            values = np.concatenate(chunks)
+            if not keep.all():
+                positions = positions[keep]
+                collected = {name: col[keep] for name, col in collected.items()}
+            if chunks:
+                values = np.concatenate(chunks)
 
         mask = np.ones(positions.size, dtype=bool)
         for index, predicate in enumerate(node.predicates):

@@ -81,33 +81,60 @@ class FusedColumnScanner(Operator):
     def _execute(self) -> None:
         events = self.events
         calibration = self.context.calibration
+        num_rows = self.table.num_rows
+        # Rows whose every accessed page decoded; salvage mode clears
+        # the spans of skipped pages so the dense columns stay aligned.
+        intact = np.ones(num_rows, dtype=bool)
         columns: dict[str, np.ndarray] = {}
         for name in self._attrs:
             column_file = self.table.column_file(name)
+            attr_dtype = self.table.schema.attribute(name).attr_type.numpy_dtype()
             spec = self.table.schema.attribute(name).spec
-            bits = column_file.page_codec.codec.bits_per_value
+            page_codec = column_file.page_codec
+            bits = page_codec.codec.bits_per_value
             chunks = []
-            for page in column_file.file.iter_pages():
-                _pid, count, payload, state = column_file.page_codec.decode_raw(page)
-                chunks.append(
-                    column_file.page_codec.codec.decode_page(payload, count, state)
+            row_base = 0
+            for page_index in range(column_file.file.num_pages):
+                span = column_file.row_span_of_page(page_index, num_rows)
+
+                def decode(page_index=page_index):
+                    _pid, count, payload, state = page_codec.decode_raw(
+                        column_file.file.read_page(page_index)
+                    )
+                    return count, page_codec.codec.decode_page(payload, count, state)
+
+                decoded = self._salvage_decode(
+                    decode, column_file.file.name, page_index, span
                 )
+                if decoded is None:
+                    # Placeholder keeps this column's offsets aligned
+                    # with the others; the rows are masked out below.
+                    chunks.append(np.zeros(span, dtype=attr_dtype))
+                    intact[row_base : row_base + span] = False
+                    row_base += span
+                    continue
+                count, values = decoded
+                chunks.append(values)
+                row_base += count
                 events.pages_touched += 1
                 events.count_decode(spec.kind, count)
                 events.mem_seq_lines += page_lines(
                     count, bits, calibration.l2_line_bytes
                 )
                 events.l1_lines += page_lines(count, bits, calibration.l1_line_bytes)
+            if row_base < num_rows:
+                # Truncated column file (salvage open): pad and mask.
+                chunks.append(np.zeros(num_rows - row_base, dtype=attr_dtype))
+                intact[row_base:] = False
             if chunks:
                 columns[name] = np.concatenate(chunks)
             else:
-                attr = self.table.schema.attribute(name)
-                columns[name] = np.zeros(0, dtype=attr.attr_type.numpy_dtype())
+                columns[name] = np.zeros(0, dtype=attr_dtype)
 
-        count = self.table.num_rows
+        count = num_rows
         # Row-at-a-time iteration across the resident pages.
         events.tuples_examined += count
-        mask = np.ones(count, dtype=bool)
+        mask = intact
         for index, predicate in enumerate(self.predicates):
             candidates = count if index == 0 else int(np.count_nonzero(mask))
             events.predicate_evals += candidates

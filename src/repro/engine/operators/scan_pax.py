@@ -45,7 +45,7 @@ class PaxScanner(Operator):
         order += [name for name in select if name not in order]
         seen: set[str] = set()
         self._attrs = [n for n in order if not (n in seen or seen.add(n))]
-        self._page_iter = None
+        self._page_index = 0
         self._ready: deque[Block] = deque()
         self._row_base = 0
         self._emitted_any = False
@@ -55,20 +55,21 @@ class PaxScanner(Operator):
         return list(self._attrs)
 
     def _open(self) -> None:
-        self._page_iter = iter(self.table.file.iter_pages())
+        self._page_index = 0
         self._ready.clear()
         self._row_base = 0
         self._emitted_any = False
 
     def _next(self) -> Block | None:
         while not self._ready:
-            page = next(self._page_iter, None)
-            if page is None:
+            if self._page_index >= self.table.file.num_pages:
                 if not self._emitted_any:
                     self._emitted_any = True
                     return self._empty_block()
                 return None
-            self._process_page(page)
+            index = self._page_index
+            self._page_index += 1
+            self._process_page(index)
         self._emitted_any = True
         return self._ready.popleft()
 
@@ -81,15 +82,28 @@ class PaxScanner(Operator):
         }
         return Block(columns=columns, positions=np.zeros(0, dtype=np.int64))
 
-    def _process_page(self, page: bytes) -> None:
+    def _process_page(self, index: int) -> None:
         events = self.events
         calibration = self.context.calibration
         codec = self.table.page_codec
+        span = self.table.row_span_of_page(index)
+
+        def decode_accessed():
+            page = self.table.file.read_page(index)
+            return {name: codec.decode_attribute(page, name) for name in self._attrs}
+
+        decoded = self._salvage_decode(
+            decode_accessed, self.table.file.name, index, span
+        )
+        if decoded is None:
+            # Salvage: skip the page, keep Record IDs of later pages right.
+            self._row_base += span
+            return
 
         columns: dict[str, np.ndarray] = {}
         count = 0
         for name in self._attrs:
-            _pid, count, values = codec.decode_attribute(page, name)
+            _pid, count, values = decoded[name]
             columns[name] = values
             spec = self.table.schema.attribute(name).spec
             events.count_decode(spec.kind, count)

@@ -45,7 +45,7 @@ class RowScanner(Operator):
             raise PlanError("row scanner needs a non-empty select list")
         self.select = tuple(select)
         self.predicates = tuple(predicates)
-        self._page_iter = None
+        self._page_index = 0
         self._ready: deque[Block] = deque()
         self._row_base = 0
         self._emitted_any = False
@@ -54,22 +54,23 @@ class RowScanner(Operator):
         )
 
     def _open(self) -> None:
-        self._page_iter = iter(self.table.file.iter_pages())
+        self._page_index = 0
         self._ready.clear()
         self._row_base = 0
         self._emitted_any = False
 
     def _next(self) -> Block | None:
         while not self._ready:
-            page = next(self._page_iter, None)
-            if page is None:
+            if self._page_index >= self.table.file.num_pages:
                 if not self._emitted_any:
                     # Emit one empty block so the output schema survives
                     # a scan with no qualifying tuples.
                     self._emitted_any = True
                     return self._empty_block()
                 return None
-            self._process_page(page)
+            index = self._page_index
+            self._page_index += 1
+            self._process_page(index)
         self._emitted_any = True
         return self._ready.popleft()
 
@@ -82,10 +83,24 @@ class RowScanner(Operator):
         }
         return Block(columns=columns, positions=np.zeros(0, dtype=np.int64))
 
-    def _process_page(self, page: bytes) -> None:
+    def _process_page(self, index: int) -> None:
         events = self.events
         calibration = self.context.calibration
-        _page_id, count, columns = self.table.page_codec.decode_columns(page)
+        decoded = self._salvage_decode(
+            lambda: self.table.page_codec.decode_columns(
+                self.table.file.read_page(index)
+            ),
+            self.table.file.name,
+            index,
+            self.table.row_span_of_page(index),
+        )
+        if decoded is None:
+            # Salvage: skip the corrupt page but advance the global row
+            # position by its nominal span so later pages' Record IDs —
+            # and any position-joined column files — stay aligned.
+            self._row_base += self.table.row_span_of_page(index)
+            return
+        _page_id, count, columns = decoded
 
         events.pages_touched += 1
         events.tuples_examined += count

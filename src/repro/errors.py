@@ -3,6 +3,36 @@
 Every error raised by the library derives from :class:`ReproError` so that
 callers can catch library failures with a single ``except`` clause while
 still being able to distinguish the subsystem that failed.
+
+Storage-integrity errors
+------------------------
+
+The storage layer distinguishes *permanent* corruption from *transient*
+I/O failures; only the latter is retryable:
+
+``StorageError``
+    Anything structurally wrong with a page, file, or table.  Not
+    retryable: the bytes themselves are bad or the API was misused.
+
+    ``PageFormatError``
+        A page's bytes do not match the declared layout (impossible
+        entry count, wrong length).  Not retryable.
+
+    ``ChecksumError``
+        A page (or ``meta.json``) failed CRC verification: the stored
+        checksum does not match the stored bytes, so the content cannot
+        be trusted.  Not retryable — rereading the same bytes yields
+        the same mismatch.  Salvage-mode scans and
+        :func:`repro.storage.scrub.scrub_table` convert these into
+        :class:`~repro.storage.scrub.CorruptionReport` entries instead
+        of aborting.
+
+    ``TransientIOError``
+        A read failed for a reason that may not recur (injected fault,
+        flaky device).  **Retryable**: :class:`repro.storage.retry`
+        retries these with bounded exponential backoff before giving
+        up; an exhausted retry budget re-raises the last
+        ``TransientIOError``.
 """
 
 from __future__ import annotations
@@ -26,6 +56,14 @@ class PageFormatError(StorageError):
 
 class PageOverflowError(StorageError):
     """Raised when appending a value to a page that has no room left."""
+
+
+class ChecksumError(StorageError):
+    """A page or metadata blob failed CRC verification (not retryable)."""
+
+
+class TransientIOError(StorageError):
+    """A read failed transiently; retried with backoff before surfacing."""
 
 
 class CompressionError(ReproError):

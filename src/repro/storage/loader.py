@@ -25,20 +25,32 @@ from repro.storage.table import (
 
 
 class BulkLoader:
-    """Loads generated tables into either physical layout."""
+    """Loads generated tables into either physical layout.
 
-    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE):
+    With ``verify=True`` every load ends with an integrity sweep
+    (:func:`repro.storage.scrub.verify_table`): each page written is
+    read back and decoded, so a bad page never leaves the loader.
+    """
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE, verify: bool = False):
         if page_size <= 0:
             raise StorageError(f"page size must be positive: {page_size}")
         self.page_size = page_size
+        self.verify = verify
 
     def load(self, data: GeneratedTable, layout: Layout) -> Table:
         """Load ``data`` under the requested layout."""
         if layout is Layout.ROW:
-            return self.load_row(data)
-        if layout is Layout.PAX:
-            return self.load_pax(data)
-        return self.load_column(data)
+            table = self.load_row(data)
+        elif layout is Layout.PAX:
+            table = self.load_pax(data)
+        else:
+            table = self.load_column(data)
+        if self.verify:
+            from repro.storage.scrub import verify_table
+
+            verify_table(table)
+        return table
 
     def load_pax(self, data: GeneratedTable) -> "PaxTable":
         """Pack tuples into PAX pages (per-attribute minipages)."""
@@ -119,6 +131,7 @@ def load_table(
     data: GeneratedTable,
     layout: Layout,
     page_size: int = DEFAULT_PAGE_SIZE,
+    verify: bool = False,
 ) -> Table:
     """Convenience wrapper around :class:`BulkLoader`."""
-    return BulkLoader(page_size=page_size).load(data, layout)
+    return BulkLoader(page_size=page_size, verify=verify).load(data, layout)

@@ -9,18 +9,34 @@ Layout of every page, row or column::
 
 ``count`` is the number of entries on the page.  The *page info* trailer
 sits at a fixed offset from the end and holds the page id (which, with a
-value's position on the page, gives the Record ID) and the codec's
-per-page state (the FOR base value).
+value's position on the page, gives the Record ID), a CRC32 checksum of
+the rest of the page, and the codec's per-page state (the FOR base
+value).
+
+Trailer versions (both 16 bytes, so payload capacity never changes):
+
+* **v1** (legacy): ``<qq`` — page id (int64), FOR base (int64).  No
+  checksum; silent corruption is undetectable.
+* **v2** (current): ``<IIq`` — page id (uint32), CRC32 (uint32), FOR
+  base (int64).  The checksum covers every byte of the page except the
+  CRC field itself, so a flipped bit anywhere — header, payload,
+  padding, page id, or base — raises
+  :class:`~repro.errors.ChecksumError` on decode.
+
+All pages assembled by this module are v2; v1 pages are upgraded in
+place when a legacy file is opened
+(:func:`repro.storage.persist.open_table`).
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 
 import numpy as np
 
 from repro.compression.base import Codec, PageCodecState
-from repro.errors import PageFormatError, StorageError
+from repro.errors import ChecksumError, PageFormatError, StorageError
 from repro.types.schema import TableSchema
 
 DEFAULT_PAGE_SIZE = 4096
@@ -28,7 +44,26 @@ PAGE_HEADER_BYTES = 4
 PAGE_TRAILER_BYTES = 16
 
 _HEADER = struct.Struct("<I")
-_TRAILER = struct.Struct("<qq")  # page_id, codec base value
+_TRAILER_V1 = struct.Struct("<qq")  # page_id, codec base value
+_TRAILER = struct.Struct("<IIq")  # page_id, crc32, codec base value
+
+#: Process-wide switch: set ``False`` to skip CRC verification on decode
+#: (measured by ``benchmarks/bench_ablation_checksum.py``; never disable
+#: in production use).  Checksums are still *written* while disabled.
+_VERIFY_CHECKSUMS = True
+
+
+def set_checksum_verification(enabled: bool) -> bool:
+    """Toggle decode-time CRC verification; returns the previous value."""
+    global _VERIFY_CHECKSUMS
+    previous = _VERIFY_CHECKSUMS
+    _VERIFY_CHECKSUMS = bool(enabled)
+    return previous
+
+
+def checksum_verification_enabled() -> bool:
+    """Whether decodes currently verify page checksums."""
+    return _VERIFY_CHECKSUMS
 
 
 def page_payload_bytes(page_size: int) -> int:
@@ -39,6 +74,13 @@ def page_payload_bytes(page_size: int) -> int:
     return payload
 
 
+def page_checksum(page: bytes) -> int:
+    """CRC32 over the whole page minus the trailer's CRC field."""
+    crc_offset = len(page) - PAGE_TRAILER_BYTES + 4
+    crc = zlib.crc32(page[:crc_offset])
+    return zlib.crc32(page[crc_offset + 4 :], crc)
+
+
 def _assemble(page_size: int, count: int, payload: bytes, page_id: int, base: int) -> bytes:
     capacity = page_payload_bytes(page_size)
     if len(payload) > capacity:
@@ -46,16 +88,49 @@ def _assemble(page_size: int, count: int, payload: bytes, page_id: int, base: in
             f"payload of {len(payload)} bytes exceeds page capacity {capacity}"
         )
     padding = b"\x00" * (capacity - len(payload))
-    return _HEADER.pack(count) + payload + padding + _TRAILER.pack(page_id, base)
+    page = _HEADER.pack(count) + payload + padding + _TRAILER.pack(page_id, 0, base)
+    return page[: -PAGE_TRAILER_BYTES + 4] + _HEADER.pack(page_checksum(page)) + page[-8:]
 
 
 def _disassemble(page: bytes, page_size: int) -> tuple[int, bytes, int, int]:
     if len(page) != page_size:
         raise PageFormatError(f"page has {len(page)} bytes, expected {page_size}")
     (count,) = _HEADER.unpack_from(page, 0)
-    page_id, base = _TRAILER.unpack_from(page, page_size - PAGE_TRAILER_BYTES)
+    page_id, crc, base = _TRAILER.unpack_from(page, page_size - PAGE_TRAILER_BYTES)
+    if _VERIFY_CHECKSUMS:
+        actual = page_checksum(page)
+        if actual != crc:
+            raise ChecksumError(
+                f"page {page_id} checksum mismatch: stored {crc:#010x}, "
+                f"computed {actual:#010x}"
+            )
     payload = page[PAGE_HEADER_BYTES : page_size - PAGE_TRAILER_BYTES]
     return count, payload, page_id, base
+
+
+def upgrade_page_v1(page: bytes) -> bytes:
+    """Rewrite a legacy v1 page trailer as v2, computing its checksum.
+
+    v1 and v2 trailers are both 16 bytes, so the payload is untouched;
+    legacy files carried no checksum, so the fresh CRC attests only to
+    bytes as read (garbage in, checksummed garbage out).
+    """
+    page_id, base = _TRAILER_V1.unpack_from(page, len(page) - PAGE_TRAILER_BYTES)
+    if not 0 <= page_id < 2**32:
+        raise PageFormatError(f"v1 page id {page_id} out of range for upgrade")
+    body = page[: len(page) - PAGE_TRAILER_BYTES]
+    upgraded = body + _TRAILER.pack(page_id, 0, base)
+    return (
+        upgraded[: -PAGE_TRAILER_BYTES + 4]
+        + _HEADER.pack(page_checksum(upgraded))
+        + upgraded[-8:]
+    )
+
+
+def downgrade_page_v2(page: bytes) -> bytes:
+    """Rewrite a v2 page trailer as legacy v1 (testing/compat helper)."""
+    page_id, _crc, base = _TRAILER.unpack_from(page, len(page) - PAGE_TRAILER_BYTES)
+    return page[: len(page) - PAGE_TRAILER_BYTES] + _TRAILER_V1.pack(page_id, base)
 
 
 class RowPageCodec:

@@ -3,23 +3,62 @@
 Pages are stored back to back; the storage layer holds the real bytes
 in memory (the I/O *timing* is the job of :mod:`repro.iosim`, which only
 needs sizes and access patterns, never the bytes themselves).
+
+Reads go through :func:`repro.storage.retry.retry_io`: a subclass (see
+:class:`repro.storage.faults.FaultyPagedFile`) may raise
+:class:`~repro.errors.TransientIOError` from :meth:`_read_page_raw`, and
+``read_page`` retries it with bounded exponential backoff before
+surfacing the failure.
 """
 
 from __future__ import annotations
 
 from repro.errors import StorageError
 from repro.storage.page import DEFAULT_PAGE_SIZE
+from repro.storage.retry import RetryPolicy, retry_io
 
 
 class PagedFile:
     """An append-only sequence of fixed-size pages."""
 
-    def __init__(self, name: str, page_size: int = DEFAULT_PAGE_SIZE):
+    def __init__(
+        self,
+        name: str,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        retry_policy: RetryPolicy | None = None,
+    ):
         if page_size <= 0:
             raise StorageError(f"page size must be positive: {page_size}")
         self.name = name
         self.page_size = page_size
+        #: Backoff for transient read faults (``None`` → module default).
+        self.retry_policy = retry_policy
         self._data = bytearray()
+
+    @classmethod
+    def from_bytes(
+        cls,
+        name: str,
+        data: bytes,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        retry_policy: RetryPolicy | None = None,
+    ) -> "PagedFile":
+        """Build a file from raw bytes, rejecting trailing partial pages.
+
+        A byte count that is not a multiple of the page size means the
+        tail page was torn mid-write (or the file was truncated); the
+        floor division in :attr:`num_pages` would silently drop those
+        bytes, so they are rejected here instead.
+        """
+        if len(data) % page_size != 0:
+            raise StorageError(
+                f"file {name!r} has {len(data)} bytes, not a multiple of page "
+                f"size {page_size}: trailing partial page (torn write or "
+                f"truncation)"
+            )
+        file = cls(name, page_size=page_size, retry_policy=retry_policy)
+        file._data.extend(data)
+        return file
 
     @property
     def num_pages(self) -> int:
@@ -42,7 +81,11 @@ class PagedFile:
         return index
 
     def read_page(self, index: int) -> bytes:
-        """Read one page by index."""
+        """Read one page by index, retrying transient faults."""
+        return retry_io(lambda: self._read_page_raw(index), self.retry_policy)
+
+    def _read_page_raw(self, index: int) -> bytes:
+        """One read attempt (fault-injection subclasses override this)."""
         if not 0 <= index < self.num_pages:
             raise StorageError(
                 f"page {index} out of range [0, {self.num_pages}) in {self.name!r}"

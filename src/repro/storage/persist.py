@@ -5,25 +5,61 @@ enough — but a usable library should survive a process restart.  This
 module serializes a loaded table (any layout) into a directory:
 
 * ``meta.json`` — schema, per-column codec specs (including the
-  dictionary values), layout, row count, page size, page directories;
+  dictionary values), layout, row count, page size, page directories,
+  and a CRC32 of the metadata itself;
 * one binary page file per storage file, byte-for-byte the same pages
   the in-memory :class:`~repro.storage.pagefile.PagedFile` holds.
 
 ``save_table`` / ``open_table`` round-trip every layout and codec.
+
+Durability and integrity
+------------------------
+
+``save_table`` is crash-safe: everything is written into a hidden
+sibling temp directory, fsynced, and atomically renamed into place, with
+``meta.json`` written last — so a crash mid-save leaves either the old
+table or no table, never a half-written one that parses.
+
+On-disk format versions:
+
+* **v1** (legacy): no page checksums, no metadata checksum.  Read
+  transparently — each page's trailer is upgraded in memory
+  (:func:`repro.storage.page.upgrade_page_v1`) so the rest of the
+  system sees only checksummed v2 pages.  Note the fresh checksums
+  attest to the bytes *as read*; v1 files carry no protection against
+  corruption that happened before the upgrade.
+* **v2** (current): every page trailer carries a CRC32, verified on
+  every decode, and ``meta.json`` carries ``meta_crc32`` over its own
+  canonical JSON, verified on open.
+
+``open_table`` by default is strict: torn writes (trailing partial
+pages), truncated files, and metadata damage raise
+:class:`~repro.errors.StorageError` /
+:class:`~repro.errors.ChecksumError`.  Passing a
+:class:`~repro.storage.scrub.CorruptionReport` as ``salvage`` instead
+records the damage (with estimated rows lost) and returns a table over
+the surviving pages.
 """
 
 from __future__ import annotations
 
 import base64
 import json
+import math
+import os
 import pathlib
+import shutil
+import zlib
 
 import numpy as np
 
 from repro.compression.base import CodecKind, CodecSpec
-from repro.errors import StorageError
+from repro.errors import ChecksumError, StorageError
 from repro.storage.layout import Layout
+from repro.storage.page import upgrade_page_v1
 from repro.storage.pagefile import PagedFile
+from repro.storage.retry import RetryPolicy, retry_io
+from repro.storage.scrub import CorruptionReport
 from repro.storage.table import (
     ColumnFile,
     ColumnTable,
@@ -36,7 +72,9 @@ from repro.types.datatypes import AttributeType, FixedTextType, IntType
 from repro.types.schema import Attribute, TableSchema
 
 _META_NAME = "meta.json"
-_FORMAT_VERSION = 1
+_META_CRC_KEY = "meta_crc32"
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 # --- schema (de)serialization ------------------------------------------------
@@ -130,35 +168,114 @@ def _schema_from_json(payload: dict) -> TableSchema:
     return TableSchema(name=payload["name"], attributes=attributes)
 
 
-# --- file (de)serialization -----------------------------------------------------
+def _meta_checksum(meta: dict) -> int:
+    """CRC32 over the canonical JSON of ``meta`` minus the CRC key."""
+    core = {key: value for key, value in meta.items() if key != _META_CRC_KEY}
+    return zlib.crc32(json.dumps(core, sort_keys=True).encode("utf-8"))
+
+
+# --- durable file writes ---------------------------------------------------------
+
+
+def _write_file_durably(path: pathlib.Path, data: bytes) -> None:
+    with open(path, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _fsync_directory(path: pathlib.Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
 
 
 def _write_paged_file(file: PagedFile, path: pathlib.Path) -> None:
-    with open(path, "wb") as handle:
-        for page in file.iter_pages():
-            handle.write(page)
+    _write_file_durably(path, b"".join(file.iter_pages()))
 
 
-def _read_paged_file(path: pathlib.Path, name: str, page_size: int) -> PagedFile:
-    file = PagedFile(name, page_size=page_size)
-    data = path.read_bytes()
-    if len(data) % page_size != 0:
-        raise StorageError(
-            f"{path} has {len(data)} bytes, not a multiple of page size "
-            f"{page_size}"
+def _read_paged_file(
+    path: pathlib.Path,
+    name: str,
+    page_size: int,
+    *,
+    version: int = _FORMAT_VERSION,
+    salvage: CorruptionReport | None = None,
+    retry_policy: RetryPolicy | None = None,
+) -> PagedFile:
+    try:
+        data = retry_io(path.read_bytes, retry_policy)
+    except FileNotFoundError:
+        if salvage is None:
+            raise StorageError(f"missing page file {path}") from None
+        salvage.record(name, -1, 0, f"page file missing: {path.name}")
+        return PagedFile(name, page_size=page_size, retry_policy=retry_policy)
+    extra = len(data) % page_size
+    if extra:
+        if salvage is None:
+            raise StorageError(
+                f"{path} has {len(data)} bytes, not a multiple of page size "
+                f"{page_size}: trailing partial page (torn write or truncation)"
+            )
+        # A torn write left a partial tail page; keep the whole pages.
+        # The missing rows are accounted by the page-count check below.
+        data = data[: len(data) - extra]
+    if version == 1:
+        data = b"".join(
+            upgrade_page_v1(data[start : start + page_size])
+            for start in range(0, len(data), page_size)
         )
-    for start in range(0, len(data), page_size):
-        file.append_page(data[start : start + page_size])
-    return file
+    return PagedFile.from_bytes(name, data, page_size, retry_policy=retry_policy)
+
+
+def _check_page_count(
+    file: PagedFile,
+    expected: int,
+    span_of,
+    salvage: CorruptionReport | None,
+) -> None:
+    """Compare a file's page count against what the metadata implies."""
+    actual = file.num_pages
+    if actual > expected:
+        raise StorageError(
+            f"{file.name!r} has {actual} pages but metadata implies {expected}: "
+            f"metadata and pages disagree"
+        )
+    if actual == expected:
+        return
+    if salvage is None:
+        raise StorageError(
+            f"{file.name!r} has {actual} pages, expected {expected}: "
+            f"file truncated or torn"
+        )
+    for page_id in range(actual, expected):
+        salvage.record(
+            file.name, page_id, span_of(page_id), "page missing (truncated/torn file)"
+        )
 
 
 # --- public API -----------------------------------------------------------------
 
 
 def save_table(table: Table, directory: str | pathlib.Path) -> pathlib.Path:
-    """Persist a loaded table into ``directory`` (created if missing)."""
+    """Persist a loaded table into ``directory``, atomically.
+
+    The table is written into a hidden temp directory next to the
+    target, fsynced, and renamed into place — ``meta.json`` last, so an
+    interrupted save can never produce a directory that opens.
+    Overwriting an existing table swaps the directories; the old table
+    remains openable until the swap.
+    """
     directory = pathlib.Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
+    directory.parent.mkdir(parents=True, exist_ok=True)
+    staging = directory.parent / f".{directory.name}.saving"
+    if staging.exists():
+        shutil.rmtree(staging)
+    staging.mkdir()
     meta: dict = {
         "format_version": _FORMAT_VERSION,
         "layout": table.layout.value,
@@ -167,11 +284,11 @@ def save_table(table: Table, directory: str | pathlib.Path) -> pathlib.Path:
         "schema": _schema_to_json(table.schema),
     }
     if isinstance(table, (RowTable, PaxTable)):
-        _write_paged_file(table.file, directory / "table.pages")
+        _write_paged_file(table.file, staging / "table.pages")
     elif isinstance(table, ColumnTable):
         columns_meta = {}
         for name, column_file in table.column_files.items():
-            _write_paged_file(column_file.file, directory / f"{name}.pages")
+            _write_paged_file(column_file.file, staging / f"{name}.pages")
             columns_meta[name] = {
                 "first_rows": (
                     column_file.first_rows.tolist()
@@ -183,34 +300,86 @@ def save_table(table: Table, directory: str | pathlib.Path) -> pathlib.Path:
         meta["columns"] = columns_meta
     else:
         raise StorageError(f"unsupported table type: {type(table).__name__}")
-    (directory / _META_NAME).write_text(
-        json.dumps(meta, indent=2), encoding="utf-8"
+    meta[_META_CRC_KEY] = _meta_checksum(meta)
+    _write_file_durably(
+        staging / _META_NAME, json.dumps(meta, indent=2).encode("utf-8")
     )
+    _fsync_directory(staging)
+    if directory.exists():
+        retired = directory.parent / f".{directory.name}.old"
+        if retired.exists():
+            shutil.rmtree(retired)
+        directory.rename(retired)
+        staging.rename(directory)
+        shutil.rmtree(retired)
+    else:
+        staging.rename(directory)
+    _fsync_directory(directory.parent)
     return directory
 
 
-def open_table(directory: str | pathlib.Path) -> Table:
-    """Load a table previously written by :func:`save_table`."""
-    directory = pathlib.Path(directory)
+def _load_meta(directory: pathlib.Path) -> dict:
     meta_path = directory / _META_NAME
     if not meta_path.exists():
         raise StorageError(f"no {_META_NAME} in {directory}")
-    meta = json.loads(meta_path.read_text(encoding="utf-8"))
-    if meta.get("format_version") != _FORMAT_VERSION:
+    try:
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
         raise StorageError(
-            f"unsupported on-disk format version: {meta.get('format_version')}"
-        )
+            f"{meta_path} is corrupt or half-written: {exc}"
+        ) from exc
+    version = meta.get("format_version")
+    if version not in _SUPPORTED_VERSIONS:
+        raise StorageError(f"unsupported on-disk format version: {version}")
+    if version >= 2:
+        stored = meta.get(_META_CRC_KEY)
+        if stored is None:
+            raise ChecksumError(f"{meta_path} is v{version} but has no checksum")
+        actual = _meta_checksum(meta)
+        if stored != actual:
+            raise ChecksumError(
+                f"{meta_path} checksum mismatch: stored {stored:#010x}, "
+                f"computed {actual:#010x}"
+            )
+    return meta
+
+
+def open_table(
+    directory: str | pathlib.Path,
+    salvage: CorruptionReport | None = None,
+    retry_policy: RetryPolicy | None = None,
+) -> Table:
+    """Load a table previously written by :func:`save_table`.
+
+    Strict by default: damaged files raise.  With ``salvage``, torn and
+    truncated page files are tolerated — surviving whole pages load, and
+    each missing page is recorded in the report with the rows it
+    covered.  ``retry_policy`` governs transient-read backoff for the
+    initial file reads and all later page reads.
+    """
+    directory = pathlib.Path(directory)
+    meta = _load_meta(directory)
+    version = meta["format_version"]
     schema = _schema_from_json(meta["schema"])
     layout = Layout(meta["layout"])
     page_size = meta["page_size"]
     num_rows = meta["num_rows"]
 
-    if layout is Layout.ROW:
-        file = _read_paged_file(directory / "table.pages", schema.name, page_size)
-        return RowTable(schema, file, num_rows, page_size=page_size)
-    if layout is Layout.PAX:
-        file = _read_paged_file(directory / "table.pages", schema.name, page_size)
-        return PaxTable(schema, file, num_rows, page_size=page_size)
+    if layout in (Layout.ROW, Layout.PAX):
+        file = _read_paged_file(
+            directory / "table.pages",
+            schema.name,
+            page_size,
+            version=version,
+            salvage=salvage,
+            retry_policy=retry_policy,
+        )
+        table_cls = RowTable if layout is Layout.ROW else PaxTable
+        table = table_cls(schema, file, num_rows, page_size=page_size)
+        _check_page_count(
+            file, table.pages_for_rows(num_rows), table.row_span_of_page, salvage
+        )
+        return table
 
     column_files: dict[str, ColumnFile] = {}
     for attr in schema:
@@ -219,6 +388,9 @@ def open_table(directory: str | pathlib.Path) -> Table:
             directory / f"{attr.name}.pages",
             f"{schema.name}.{attr.name}",
             page_size,
+            version=version,
+            salvage=salvage,
+            retry_policy=retry_policy,
         )
         column_meta = meta["columns"][attr.name]
         if column_meta["first_rows"] is not None:
@@ -226,5 +398,16 @@ def open_table(directory: str | pathlib.Path) -> Table:
                 column_meta["first_rows"], dtype=np.int64
             )
         column_file.effective_bits = column_meta["effective_bits"]
+        expected = (
+            len(column_file.first_rows)
+            if column_file.first_rows is not None
+            else math.ceil(num_rows / column_file.values_per_page)
+        )
+        _check_page_count(
+            column_file.file,
+            expected,
+            lambda page_id, cf=column_file: cf.row_span_of_page(page_id, num_rows),
+            salvage,
+        )
         column_files[attr.name] = column_file
     return ColumnTable(schema, column_files, num_rows, page_size=page_size)

@@ -97,6 +97,11 @@ class RowTable(Table):
     def pages_for_rows(self, cardinality: int) -> int:
         return math.ceil(cardinality / self.page_codec.tuples_per_page)
 
+    def row_span_of_page(self, page_id: int) -> int:
+        """Rows one page covers (corruption accounting; see ColumnFile)."""
+        capacity = self.page_codec.tuples_per_page
+        return max(0, min(capacity, self.num_rows - page_id * capacity))
+
     def file_sizes_for(self, attrs: list[str], cardinality: int | None = None) -> dict[str, int]:
         for name in attrs:
             self.schema.attribute(name)  # raises SchemaError when unknown
@@ -154,6 +159,23 @@ class ColumnFile:
         if self.first_rows is None:
             return page_id * self.values_per_page
         return int(self.first_rows[page_id])
+
+    def row_span_of_page(self, page_id: int, num_rows: int) -> int:
+        """How many of the table's rows one page covers.
+
+        Used by salvage scans and :mod:`repro.storage.scrub` to estimate
+        the rows lost with an undecodable page without trusting its
+        (possibly corrupt) entry count.
+        """
+        start = self.first_row_of_page(page_id)
+        if self.first_rows is not None:
+            if page_id + 1 < len(self.first_rows):
+                end = int(self.first_rows[page_id + 1])
+            else:
+                end = num_rows
+        else:
+            end = min(num_rows, start + self.values_per_page)
+        return max(0, end - start)
 
 
 class ColumnTable(Table):
@@ -242,6 +264,11 @@ class PaxTable(Table):
 
     def pages_for_rows(self, cardinality: int) -> int:
         return math.ceil(cardinality / self.page_codec.tuples_per_page)
+
+    def row_span_of_page(self, page_id: int) -> int:
+        """Rows one page covers (corruption accounting; see ColumnFile)."""
+        capacity = self.page_codec.tuples_per_page
+        return max(0, min(capacity, self.num_rows - page_id * capacity))
 
     def file_sizes_for(self, attrs: list[str], cardinality: int | None = None) -> dict[str, int]:
         # PAX does not change what a page contains, so a scan reads the

@@ -62,19 +62,27 @@ class WriteOptimizedStore:
             columns[attr.name] = np.asarray(raw, dtype=attr.attr_type.numpy_dtype())
         return columns
 
-    def merge_into(self, table: Table, loader: BulkLoader | None = None) -> Table:
+    def merge_into(
+        self,
+        table: Table,
+        loader: BulkLoader | None = None,
+        verify: bool = False,
+    ) -> Table:
         """Rebuild the read store with the staged tuples merged in.
 
         Returns a new table of the same layout; the staging area is
         cleared.  With a ``sort_key``, the combined data is re-sorted on
-        it (stable), matching the read store's clustering.
+        it (stable), matching the read store's clustering.  With
+        ``verify=True`` the rebuilt table is integrity-swept before it
+        replaces the old one, so a merge can never install corrupt
+        pages.
         """
         if table.schema.attribute_names != self.schema.attribute_names:
             raise StorageError(
                 f"cannot merge {self.schema.name!r} staging into table "
                 f"{table.schema.name!r}: schemas differ"
             )
-        loader = loader or BulkLoader(page_size=table.page_size)
+        loader = loader or BulkLoader(page_size=table.page_size, verify=verify)
         existing = table.columns_dict()
         staged = self.staged_columns()
         if staged:

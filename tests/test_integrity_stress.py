@@ -1,0 +1,95 @@
+"""Seeded fault-injection stress sweep (fast: runs in well under 5 s).
+
+Each iteration picks a layout and a fault kind from a seeded RNG,
+damages a fresh copy of a persisted table, and checks the two integrity
+invariants: strict mode always raises, and salvage mode returns only
+rows that match the pristine table, with the loss covered by the
+corruption accounting.
+"""
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.data.tpch import generate_orders
+from repro.engine.executor import run_scan
+from repro.engine.query import ScanQuery
+from repro.errors import StorageError
+from repro.storage.faults import drop_trailing_pages, flip_bit_on_disk, tear_file
+from repro.storage.layout import Layout
+from repro.storage.loader import load_table
+from repro.storage.persist import open_table, save_table
+from repro.storage.scrub import CorruptionReport
+
+LAYOUTS = (Layout.ROW, Layout.COLUMN, Layout.PAX)
+ROWS = 400
+ITERATIONS = 24
+PAGE_SIZE = 4096
+
+
+@pytest.fixture(scope="module")
+def pristine(tmp_path_factory):
+    root = tmp_path_factory.mktemp("stress")
+    data = generate_orders(ROWS, seed=97)
+    select = tuple(data.schema.attribute_names)
+    clean = {}
+    for layout in LAYOUTS:
+        table = load_table(data, layout)
+        save_table(table, root / layout.value)
+        clean[layout] = run_scan(table, ScanQuery("ORDERS", select=select))
+    return root, select, clean
+
+
+def inject(rng, directory) -> str:
+    """Apply one random fault to one random page file; returns its kind."""
+    files = sorted(directory.glob("*.pages"))
+    target = files[int(rng.integers(len(files)))]
+    kind = ("flip", "tear", "drop")[int(rng.integers(3))]
+    if kind == "flip":
+        flip_bit_on_disk(
+            target,
+            byte=int(rng.integers(target.stat().st_size)),
+            bit=int(rng.integers(8)),
+        )
+    elif kind == "tear":
+        tear_file(target, PAGE_SIZE)
+    else:
+        pages = max(1, target.stat().st_size // PAGE_SIZE - 1)
+        drop_trailing_pages(target, PAGE_SIZE, pages=int(rng.integers(1, pages + 1)))
+    return kind
+
+
+def test_stress_sweep(pristine, tmp_path):
+    root, select, clean = pristine
+    rng = np.random.default_rng(2026)
+    query = ScanQuery("ORDERS", select=select)
+    for iteration in range(ITERATIONS):
+        layout = LAYOUTS[iteration % len(LAYOUTS)]
+        directory = tmp_path / f"case-{iteration}"
+        shutil.copytree(root / layout.value, directory)
+        kind = inject(rng, directory)
+
+        # Invariant 1: strict mode raises somewhere — open or scan.
+        with pytest.raises(StorageError):
+            run_scan(open_table(directory), query)
+
+        # Invariant 2: salvage returns a subset of the pristine rows and
+        # the report accounts for at least the rows that went missing.
+        report = CorruptionReport()
+        table = open_table(directory, salvage=report)
+        result = run_scan(table, query, salvage=True)
+        report.merge(result.corruption)
+        assert not report.is_clean, f"case {iteration} ({layout}, {kind}): no fault"
+
+        clean_result = clean[layout]
+        surviving = np.isin(clean_result.positions, result.positions)
+        assert surviving.sum() == result.num_tuples
+        for name in select:
+            np.testing.assert_array_equal(
+                result.column(name),
+                clean_result.column(name)[surviving],
+                err_msg=f"case {iteration} ({layout}, {kind}): wrong rows survived",
+            )
+        lost = clean_result.num_tuples - result.num_tuples
+        assert lost <= report.estimated_rows_lost
