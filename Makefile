@@ -2,7 +2,7 @@
 # PEP 660 editable builds; in offline environments without it, the
 # legacy `setup.py develop` path below installs identically.
 
-.PHONY: install test bench scrub experiments experiments-md all
+.PHONY: install test bench fuzz scrub experiments experiments-md all
 
 install:
 	pip install -e . 2>/dev/null || python setup.py develop
@@ -12,6 +12,12 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Differential fuzzing: 2,000 seeded cases through every layout x codec
+# configuration vs the pure-Python oracle.  Replay one failure with
+# `python -m repro.testing --seed N`.
+fuzz:
+	python -m repro.testing --cases 2000
 
 # Integrity self-test: inject seeded faults into a scratch table and
 # require the scrubber to pinpoint every one.

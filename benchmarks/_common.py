@@ -30,5 +30,7 @@ def publish(output: ExperimentOutput, filename: str) -> None:
     text = output.render()
     print()
     print(text)
-    RESULTS_DIR.mkdir(exist_ok=True)
+    # parents=True so a single bench runs standalone on a fresh clone,
+    # where results/ (untracked) does not exist yet.
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / filename).write_text(text + "\n", encoding="utf-8")

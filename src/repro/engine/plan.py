@@ -71,7 +71,14 @@ def aggregate_plan(
     if sort_based:
         if not spec.group_by:
             raise PlanError("sort-based aggregation requires a group-by key")
-        child = SortOperator(context, scan, key=spec.group_by[0])
+        # Chain stable sorts from the least-significant key outward:
+        # stable sorts compose, so the final output is ordered
+        # lexicographically on the full group-by key and SortAggregate's
+        # run detection (which splits on *all* keys) sees each group as
+        # one contiguous run.
+        child: Operator = scan
+        for key in reversed(spec.group_by):
+            child = SortOperator(context, child, key=key)
         return SortAggregate(context, child, spec)
     return HashAggregate(context, scan, spec)
 

@@ -1,0 +1,52 @@
+"""Differential-testing oracle for the query engine.
+
+The paper's core engineering claim is that the row, column (pipelined
+and fused), and PAX scanners sit under an *identical* operator layer and
+therefore must return identical answers for any query.  This package
+turns that claim into an executable oracle:
+
+* :mod:`repro.testing.oracle` — a deliberately naive pure-Python
+  reference executor (plain tuples, ``itertools``-level evaluation, no
+  blocks, no codecs in the result path) that serves as ground truth;
+* :mod:`repro.testing.genquery` — a seeded random generator of schemas,
+  data distributions, codec assignments, and queries;
+* :mod:`repro.testing.harness` — runs each generated case through every
+  layout x codec configuration plus the oracle, diffs the results, and
+  on mismatch emits a minimized, seed-replayable repro command.
+
+Run it as ``python -m repro.testing --cases 2000`` (or ``make fuzz``);
+replay one failing case with ``python -m repro.testing --seed N``.
+"""
+
+from repro.testing.genquery import GeneratedCase, generate_case
+from repro.testing.harness import (
+    CaseOutcome,
+    SuiteReport,
+    minimize_case,
+    run_case,
+    run_suite,
+)
+from repro.testing.oracle import (
+    OracleResult,
+    oracle_aggregate,
+    oracle_limit,
+    oracle_merge_join,
+    oracle_scan,
+    oracle_topn,
+)
+
+__all__ = [
+    "CaseOutcome",
+    "GeneratedCase",
+    "OracleResult",
+    "SuiteReport",
+    "generate_case",
+    "minimize_case",
+    "oracle_aggregate",
+    "oracle_limit",
+    "oracle_merge_join",
+    "oracle_scan",
+    "oracle_topn",
+    "run_case",
+    "run_suite",
+]

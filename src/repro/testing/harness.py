@@ -1,0 +1,627 @@
+"""Differential harness: every layout x codec configuration vs the oracle.
+
+For each generated case the harness bulk-loads the same logical data
+under all four scanner configurations (row, PAX, column pipelined,
+column fused), executes the case's query through the real engine, and
+diffs the answer against the pure-Python oracle.  On top of the oracle
+diff it layers four *metamorphic* checks that need no oracle at all:
+
+* **selectivity monotonicity** — dropping a conjunct can only grow the
+  qualifying set;
+* **predicate-complement partition** — ``P`` and ``not P`` split the
+  unfiltered result into two disjoint halves;
+* **aggregate-of-parts** — aggregating the two halves and merging them
+  reproduces the whole-table aggregate;
+* **compression invariance** — re-loading the table with identity
+  codecs must not change any answer.
+
+A failing case is greedily minimized (drop predicates, strip codecs,
+shrink the select list, halve the data) and reported with a one-line
+``python -m repro.testing --seed N`` repro command.
+
+Column-only codecs (RLE has variable page capacity) are transparently
+downgraded to identity for the fixed-stride row and PAX layouts; the
+coverage report tracks which (layout, codec) cells each run exercised.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+import numpy as np
+
+from repro.compression.base import CodecKind, CodecSpec
+from repro.data.generator import GeneratedTable
+from repro.engine.context import ExecutionContext
+from repro.engine.executor import QueryResult, execute_plan
+from repro.engine.operators.limit import Limit, TopN
+from repro.engine.plan import (
+    ColumnScannerKind,
+    aggregate_plan,
+    merge_join_plan,
+    scan_plan,
+)
+from repro.engine.predicate import ComparisonOp, Predicate
+from repro.engine.query import AggregateFunction, ScanQuery
+from repro.storage.layout import Layout
+from repro.storage.loader import load_table
+from repro.storage.table import Table
+from repro.testing.genquery import FEATURED_KINDS, GeneratedCase, generate_case
+from repro.testing.oracle import (
+    OracleResult,
+    complement_predicate,
+    oracle_aggregate,
+    oracle_limit,
+    oracle_merge_join,
+    oracle_scan,
+    oracle_topn,
+    pyvalue,
+)
+
+
+@dataclass(frozen=True)
+class ScanConfig:
+    """One of the four scanner architectures under test."""
+
+    name: str
+    layout: Layout
+    column_scanner: ColumnScannerKind = ColumnScannerKind.PIPELINED
+
+
+#: The full configuration matrix every case runs through.
+CONFIGS = (
+    ScanConfig("row", Layout.ROW),
+    ScanConfig("pax", Layout.PAX),
+    ScanConfig("column", Layout.COLUMN, ColumnScannerKind.PIPELINED),
+    ScanConfig("fused", Layout.COLUMN, ColumnScannerKind.FUSED),
+)
+
+#: Codec kinds whose page codecs have data-dependent (variable) page
+#: capacity; only the column layout supports those, so they downgrade to
+#: identity under fixed-stride row/PAX pages.
+COLUMN_ONLY_KINDS = frozenset({CodecKind.RLE})
+
+
+@dataclass
+class CaseOutcome:
+    """What happened when one case ran through the whole matrix."""
+
+    seed: int
+    failures: list[str] = field(default_factory=list)
+    #: (config name, codec kind value) cells this case exercised.
+    coverage: set[tuple[str, str]] = field(default_factory=set)
+    checks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+@dataclass
+class SuiteReport:
+    """Aggregate result of a fuzzing run."""
+
+    start_seed: int
+    num_cases: int
+    checks: int = 0
+    coverage: set[tuple[str, str]] = field(default_factory=set)
+    #: (seed, first failure message, minimized description) triples.
+    failures: list[tuple[int, str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def coverage_table(self) -> str:
+        kinds = [kind.value for kind in FEATURED_KINDS]
+        lines = ["layout   " + " ".join(f"{k:>9s}" for k in kinds)]
+        for config in CONFIGS:
+            cells = []
+            for kind in FEATURED_KINDS:
+                impossible = (
+                    kind in COLUMN_ONLY_KINDS and config.layout is not Layout.COLUMN
+                )
+                if impossible:
+                    cells.append(f"{'-':>9s}")
+                else:
+                    hit = (config.name, kind.value) in self.coverage
+                    cells.append(f"{'ok' if hit else 'MISS':>9s}")
+            lines.append(f"{config.name:<8s} " + " ".join(cells))
+        return "\n".join(lines)
+
+    def format(self) -> str:
+        lines = [
+            f"fuzz: {self.num_cases} cases (seeds {self.start_seed}.."
+            f"{self.start_seed + self.num_cases - 1}), "
+            f"{self.checks} differential checks, "
+            f"{len(self.failures)} failure(s)",
+            self.coverage_table(),
+        ]
+        for seed, message, minimized in self.failures:
+            lines.append(f"FAIL seed {seed}: {message}")
+            lines.append(f"  repro: python -m repro.testing --seed {seed}")
+            if minimized:
+                lines.append("  minimized:\n    " + minimized.replace("\n", "\n    "))
+        return "\n".join(lines)
+
+
+# --- loading ------------------------------------------------------------------
+
+
+def _effective_specs(
+    specs: dict[str, CodecSpec], layout: Layout
+) -> dict[str, CodecSpec]:
+    """The codec assignment actually loadable under ``layout``."""
+    if layout is Layout.COLUMN:
+        return dict(specs)
+    return {
+        name: spec
+        for name, spec in specs.items()
+        if spec.kind not in COLUMN_ONLY_KINDS
+    }
+
+
+def _load(case: GeneratedCase, table_name: str, layout: Layout) -> Table:
+    data = case.tables[table_name]
+    specs = _effective_specs(case.codec_specs.get(table_name, {}), layout)
+    bound = data.with_schema(data.schema.with_codecs(specs))
+    return load_table(bound, layout, page_size=case.page_size)
+
+
+def _case_coverage(case: GeneratedCase, config: ScanConfig) -> set[tuple[str, str]]:
+    cells = set()
+    for specs in case.codec_specs.values():
+        effective = _effective_specs(specs, config.layout)
+        for spec in effective.values():
+            cells.add((config.name, spec.kind.value))
+        if len(effective) < len(specs) or len(specs) < max(
+            len(case.tables[name].schema) for name in case.tables
+        ):
+            cells.add((config.name, CodecKind.NONE.value))
+    return cells
+
+
+# --- engine execution ---------------------------------------------------------
+
+
+def _run_engine(case: GeneratedCase, config: ScanConfig) -> QueryResult:
+    context = ExecutionContext()
+    if case.kind == "join":
+        left = _load(case, case.join_left_query.table, config.layout)
+        right = _load(case, case.query.table, config.layout)
+        plan = merge_join_plan(
+            context,
+            left,
+            case.join_left_query,
+            right,
+            case.query,
+            case.join_left_key,
+            case.join_right_key,
+            column_scanner=config.column_scanner,
+        )
+        return execute_plan(plan)
+    table = _load(case, case.query.table, config.layout)
+    if case.kind == "aggregate":
+        plan = aggregate_plan(
+            context,
+            table,
+            case.query,
+            case.aggregate,
+            sort_based=case.sort_based,
+            column_scanner=config.column_scanner,
+        )
+        return execute_plan(plan)
+    scan = scan_plan(context, table, case.query, config.column_scanner)
+    if case.kind == "limit":
+        return execute_plan(Limit(context, scan, case.limit_count))
+    if case.kind == "topn":
+        return execute_plan(
+            TopN(
+                context,
+                scan,
+                key=case.topn_key,
+                count=case.topn_count,
+                descending=case.topn_descending,
+            )
+        )
+    return execute_plan(scan)
+
+
+def _oracle_expected(case: GeneratedCase) -> OracleResult:
+    data = case.tables[case.query.table]
+    if case.kind == "aggregate":
+        return oracle_aggregate(data, case.query, case.aggregate)
+    if case.kind == "join":
+        return oracle_merge_join(
+            case.tables[case.join_left_query.table],
+            case.join_left_query,
+            data,
+            case.query,
+            case.join_left_key,
+            case.join_right_key,
+        )
+    scanned = oracle_scan(data, case.query)
+    if case.kind == "limit":
+        return oracle_limit(scanned, case.limit_count)
+    if case.kind == "topn":
+        return oracle_topn(
+            scanned, case.topn_key, case.topn_count, case.topn_descending
+        )
+    return scanned
+
+
+# --- comparison ---------------------------------------------------------------
+
+
+def _engine_rows(result: QueryResult, names: list[str]) -> list[tuple]:
+    columns = [
+        [pyvalue(v) for v in result.columns[name].tolist()] for name in names
+    ]
+    return [tuple(col[i] for col in columns) for i in range(result.num_tuples)]
+
+
+def _values_equal(got, want) -> bool:
+    if isinstance(want, float) or isinstance(got, float):
+        return math.isclose(float(got), float(want), rel_tol=1e-9, abs_tol=1e-9)
+    return got == want
+
+
+def _rows_equal(got: list[tuple], want: list[tuple]) -> bool:
+    if len(got) != len(want):
+        return False
+    return all(
+        len(g) == len(w) and all(_values_equal(a, b) for a, b in zip(g, w))
+        for g, w in zip(got, want)
+    )
+
+
+def _diff_message(what: str, got, want) -> str:
+    return f"{what}: engine={_truncate(got)} oracle={_truncate(want)}"
+
+
+def _truncate(value, limit: int = 160) -> str:
+    text = repr(value)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def compare_result(
+    case: GeneratedCase, result: QueryResult, expected: OracleResult
+) -> str | None:
+    """One-line diff between an engine result and the oracle, or None."""
+    if result.num_tuples == 0 and expected.num_tuples == 0:
+        return None
+    missing = [n for n in expected.names if n not in result.columns]
+    if missing:
+        return f"missing output columns {missing} (have {list(result.columns)})"
+    got = _engine_rows(result, expected.names)
+    if case.kind == "aggregate":
+        # Group ordering differs between hash (np.unique) and sort
+        # aggregation; compare as sorted multisets.
+        got_sorted = sorted(got)
+        want_sorted = sorted(expected.rows)
+        if not _rows_equal(got_sorted, want_sorted):
+            return _diff_message("aggregate rows differ", got_sorted, want_sorted)
+        return None
+    if not _rows_equal(got, expected.rows):
+        return _diff_message("rows differ", got, expected.rows)
+    got_positions = result.positions.tolist()
+    if got_positions != expected.positions:
+        return _diff_message("positions differ", got_positions, expected.positions)
+    return None
+
+
+# --- metamorphic checks -------------------------------------------------------
+
+
+def _scan_positions(
+    table: Table, query: ScanQuery, config: ScanConfig
+) -> list[int]:
+    context = ExecutionContext()
+    plan = scan_plan(context, table, query, config.column_scanner)
+    return execute_plan(plan).positions.tolist()
+
+
+def _split_predicate(case: GeneratedCase) -> Predicate | None:
+    """A predicate partitioning the primary table (for parts checks)."""
+    query = case.query
+    if query.predicates:
+        return query.predicates[0]
+    data = case.tables[query.table]
+    if data.num_rows == 0:
+        return None
+    attr = query.select[0]
+    values = data.column(attr)
+    pivot = pyvalue(np.sort(values)[len(values) // 2])
+    return Predicate(attr, ComparisonOp.LE, pivot)
+
+
+def _merge_parts(function: AggregateFunction, parts: list[list[tuple]]):
+    merged: dict[tuple, object] = {}
+    for rows in parts:
+        for row in rows:
+            key, value = row[:-1], row[-1]
+            if key not in merged:
+                merged[key] = value
+            elif function in (AggregateFunction.COUNT, AggregateFunction.SUM):
+                merged[key] = merged[key] + value
+            elif function is AggregateFunction.MIN:
+                merged[key] = min(merged[key], value)
+            else:
+                merged[key] = max(merged[key], value)
+    return sorted(key + (value,) for key, value in merged.items())
+
+
+def metamorphic_failures(case: GeneratedCase) -> list[str]:
+    """Engine-only invariant checks (no oracle involved).
+
+    Runs on the column/pipelined configuration: the invariants hold per
+    configuration, and the oracle diff already pins all four
+    configurations to the same answer.
+    """
+    failures: list[str] = []
+    config = CONFIGS[2]
+    query = case.query
+    table = _load(case, query.table, config.layout)
+
+    # 1. Selectivity monotonicity: each dropped conjunct grows the set.
+    if query.predicates:
+        full = set(_scan_positions(table, query, config))
+        weaker = set(
+            _scan_positions(
+                table, replace(query, predicates=query.predicates[:-1]), config
+            )
+        )
+        if not full <= weaker:
+            failures.append(
+                "metamorphic: dropping a conjunct lost rows "
+                f"{sorted(full - weaker)[:10]}"
+            )
+
+    # 2. Predicate-complement partition.
+    split = _split_predicate(case)
+    if split is not None:
+        base = replace(query, predicates=())
+        everything = _scan_positions(table, base, config)
+        part = _scan_positions(table, replace(base, predicates=(split,)), config)
+        rest = _scan_positions(
+            table, replace(base, predicates=(complement_predicate(split),)), config
+        )
+        if set(part) & set(rest):
+            failures.append(
+                f"metamorphic: P and not-P overlap on {sorted(set(part) & set(rest))[:10]}"
+            )
+        if sorted(part + rest) != everything:
+            failures.append(
+                "metamorphic: P + not-P does not partition the table "
+                f"({len(part)}+{len(rest)} vs {len(everything)})"
+            )
+
+        # 3. Aggregate-of-parts = whole (exact for non-AVG functions).
+        if (
+            case.kind == "aggregate"
+            and case.aggregate.function is not AggregateFunction.AVG
+        ):
+            spec = case.aggregate
+            names = list(spec.group_by) + [
+                "count"
+                if spec.function is AggregateFunction.COUNT
+                else f"{spec.function.value}_{spec.argument}"
+            ]
+
+            def _agg_rows(predicates: tuple[Predicate, ...]) -> list[tuple]:
+                context = ExecutionContext()
+                plan = aggregate_plan(
+                    context,
+                    table,
+                    replace(query, predicates=predicates),
+                    spec,
+                    sort_based=case.sort_based,
+                    column_scanner=config.column_scanner,
+                )
+                result = execute_plan(plan)
+                if result.num_tuples == 0:
+                    return []
+                return _engine_rows(result, names)
+
+            whole = sorted(_agg_rows(query.predicates))
+            merged = _merge_parts(
+                spec.function,
+                [
+                    _agg_rows(query.predicates + (split,)),
+                    _agg_rows(query.predicates + (complement_predicate(split),)),
+                ],
+            )
+            if not _rows_equal(merged, whole):
+                failures.append(
+                    _diff_message(
+                        "metamorphic: aggregate-of-parts != whole", merged, whole
+                    )
+                )
+
+    # 4. Compression invariance: identity codecs give identical answers.
+    if case.codec_specs.get(query.table):
+        plain = case.tables[query.table]
+        identity = load_table(plain, config.layout, page_size=case.page_size)
+        with_codecs = _scan_positions(table, query, config)
+        without = _scan_positions(identity, query, config)
+        if with_codecs != without:
+            failures.append(
+                "metamorphic: compression changed the answer "
+                f"({len(with_codecs)} vs {len(without)} rows)"
+            )
+    return failures
+
+
+# --- case driver --------------------------------------------------------------
+
+
+def run_case(case: GeneratedCase, metamorphic: bool = True) -> CaseOutcome:
+    """Run one case through the full matrix plus the invariant checks."""
+    outcome = CaseOutcome(seed=case.seed)
+    expected = _oracle_expected(case)
+    for config in CONFIGS:
+        try:
+            result = _run_engine(case, config)
+            error = compare_result(case, result, expected)
+        except Exception as exc:  # noqa: BLE001 - a crash is a finding
+            error = f"{type(exc).__name__}: {exc}"
+        outcome.checks += 1
+        if error:
+            outcome.failures.append(f"[{config.name}] {error}")
+        outcome.coverage |= _case_coverage(case, config)
+    if metamorphic and not outcome.failures:
+        try:
+            meta = metamorphic_failures(case)
+        except Exception as exc:  # noqa: BLE001
+            meta = [f"metamorphic checks crashed: {type(exc).__name__}: {exc}"]
+        outcome.checks += 1
+        outcome.failures.extend(f"[column] {m}" for m in meta)
+    return outcome
+
+
+# --- minimization -------------------------------------------------------------
+
+
+def _with_rows(case: GeneratedCase, count: int) -> GeneratedCase:
+    tables = {
+        name: GeneratedTable(
+            schema=data.schema,
+            columns={k: v[:count] for k, v in data.columns.items()},
+        )
+        for name, data in case.tables.items()
+    }
+    return replace(case, tables=tables)
+
+
+def _required_attrs(case: GeneratedCase) -> set[str]:
+    needed: set[str] = set()
+    if case.aggregate is not None:
+        needed.update(case.aggregate.group_by)
+        if case.aggregate.argument:
+            needed.add(case.aggregate.argument)
+    if case.join_right_key:
+        needed.add(case.join_right_key)
+    if case.topn_key:
+        needed.add(case.topn_key)
+    return needed
+
+
+def minimize_case(
+    case: GeneratedCase,
+    still_fails: Callable[[GeneratedCase], bool] | None = None,
+    budget: int = 40,
+) -> GeneratedCase:
+    """Greedy shrink: smallest variant that still fails the harness.
+
+    The original codec specs stay valid on row prefixes (packed widths
+    upper-bound the surviving values; dictionaries are supersets), so
+    halving the data never invalidates the physical design.
+    """
+    if still_fails is None:
+        still_fails = lambda c: not run_case(c).ok  # noqa: E731
+    spent = 0
+
+    def attempt(candidate: GeneratedCase, note: str) -> GeneratedCase | None:
+        nonlocal spent
+        if spent >= budget:
+            return None
+        spent += 1
+        try:
+            if still_fails(candidate):
+                return replace(
+                    candidate, shrink_steps=case.shrink_steps + [note]
+                )
+        except Exception:  # noqa: BLE001 - a crash still reproduces
+            return replace(candidate, shrink_steps=case.shrink_steps + [note])
+        return None
+
+    changed = True
+    while changed and spent < budget:
+        changed = False
+        # Halve the data.
+        rows = max(d.num_rows for d in case.tables.values())
+        if rows > 1:
+            smaller = attempt(_with_rows(case, rows // 2), f"rows->{rows // 2}")
+            if smaller is not None:
+                case = smaller
+                changed = True
+                continue
+        # Drop predicates one at a time.
+        for index in range(len(case.query.predicates)):
+            predicates = (
+                case.query.predicates[:index] + case.query.predicates[index + 1 :]
+            )
+            candidate = attempt(
+                replace(case, query=replace(case.query, predicates=predicates)),
+                f"drop predicate {case.query.predicates[index].describe()}",
+            )
+            if candidate is not None:
+                case = candidate
+                changed = True
+                break
+        if changed:
+            continue
+        # Strip codecs.
+        for table_name, specs in case.codec_specs.items():
+            for attr in list(specs):
+                slimmed = {
+                    t: {a: s for a, s in sp.items() if (t, a) != (table_name, attr)}
+                    for t, sp in case.codec_specs.items()
+                }
+                candidate = attempt(
+                    replace(case, codec_specs=slimmed),
+                    f"identity codec for {table_name}.{attr}",
+                )
+                if candidate is not None:
+                    case = candidate
+                    changed = True
+                    break
+            if changed:
+                break
+        if changed:
+            continue
+        # Shrink the select list.
+        required = _required_attrs(case)
+        for name in case.query.select:
+            if name in required or len(case.query.select) == 1:
+                continue
+            select = tuple(n for n in case.query.select if n != name)
+            candidate = attempt(
+                replace(case, query=replace(case.query, select=select)),
+                f"drop select {name}",
+            )
+            if candidate is not None:
+                case = candidate
+                changed = True
+                break
+    return case
+
+
+# --- suite driver -------------------------------------------------------------
+
+
+def run_suite(
+    num_cases: int,
+    start_seed: int = 0,
+    metamorphic: bool = True,
+    minimize: bool = True,
+    progress: Callable[[int, SuiteReport], None] | None = None,
+) -> SuiteReport:
+    """Fuzz ``num_cases`` consecutive seeds and aggregate the outcome."""
+    report = SuiteReport(start_seed=start_seed, num_cases=num_cases)
+    for offset in range(num_cases):
+        seed = start_seed + offset
+        case = generate_case(seed)
+        outcome = run_case(case, metamorphic=metamorphic)
+        report.checks += outcome.checks
+        report.coverage |= outcome.coverage
+        if not outcome.ok:
+            minimized = ""
+            if minimize:
+                minimized = minimize_case(case).describe()
+            report.failures.append((seed, outcome.failures[0], minimized))
+        if progress is not None:
+            progress(offset + 1, report)
+    return report

@@ -1,0 +1,241 @@
+"""Naive pure-Python reference executor (the differential-testing oracle).
+
+Everything here is deliberately the *simplest possible* implementation:
+columns are decoded to plain Python lists up front, predicates and
+aggregates are evaluated tuple-at-a-time with ``operator``/``itertools``
+level code, and no blocks, pages, or codecs appear anywhere in the
+result path.  The engine under test shares **no code** with this module
+below the query-spec layer, so agreement between the two is meaningful
+evidence of correctness.
+
+The oracle mirrors the engine's *observable* semantics exactly:
+
+* scans emit qualifying tuples in Record-ID (row) order;
+* aggregate group keys follow ``np.unique`` ordering only up to
+  multiset equality (the harness compares sorted rows);
+* ``TopN`` keeps ties by input order ascending and by *reverse* input
+  order when descending, matching the engine's reversed stable argsort;
+* ``AVG`` is the only float-producing function (sum/count division).
+"""
+
+from __future__ import annotations
+
+import itertools
+import operator
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.generator import GeneratedTable
+from repro.engine.predicate import ComparisonOp, Predicate
+from repro.engine.query import AggregateFunction, AggregateSpec, ScanQuery
+from repro.errors import ReproError
+
+_OPS = {
+    ComparisonOp.LT: operator.lt,
+    ComparisonOp.LE: operator.le,
+    ComparisonOp.GT: operator.gt,
+    ComparisonOp.GE: operator.ge,
+    ComparisonOp.EQ: operator.eq,
+    ComparisonOp.NE: operator.ne,
+}
+
+#: Complement of each comparison operator (used by the metamorphic
+#: predicate-partition check: P and not-P partition the input).
+COMPLEMENT_OP = {
+    ComparisonOp.LT: ComparisonOp.GE,
+    ComparisonOp.GE: ComparisonOp.LT,
+    ComparisonOp.LE: ComparisonOp.GT,
+    ComparisonOp.GT: ComparisonOp.LE,
+    ComparisonOp.EQ: ComparisonOp.NE,
+    ComparisonOp.NE: ComparisonOp.EQ,
+}
+
+
+def complement_predicate(predicate: Predicate) -> Predicate:
+    """The predicate qualifying exactly the tuples ``predicate`` rejects."""
+    return Predicate(predicate.attr, COMPLEMENT_OP[predicate.op], predicate.value)
+
+
+def pyvalue(value):
+    """Normalize a numpy scalar to its plain Python equivalent.
+
+    Fixed text comes back as ``bytes`` with the trailing NUL padding
+    stripped — the same view numpy's own comparisons take.
+    """
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+@dataclass
+class OracleResult:
+    """Ground-truth answer: plain tuples, no numpy anywhere."""
+
+    names: list[str]
+    positions: list[int]
+    rows: list[tuple] = field(default_factory=list)
+
+    @property
+    def num_tuples(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> list:
+        index = self.names.index(name)
+        return [row[index] for row in self.rows]
+
+
+def _plain_columns(data: GeneratedTable, names: list[str]) -> dict[str, list]:
+    """Decode the referenced columns to plain Python lists."""
+    return {name: [pyvalue(v) for v in data.column(name).tolist()] for name in names}
+
+
+def _predicate_fn(predicate: Predicate):
+    compare = _OPS[predicate.op]
+    constant = pyvalue(predicate.value)
+    return lambda value: compare(value, constant)
+
+
+def oracle_scan(data: GeneratedTable, query: ScanQuery) -> OracleResult:
+    """Reference answer for a projection + conjunctive selection."""
+    query.validate_against(data.schema)
+    needed = list(dict.fromkeys(list(query.select) + [p.attr for p in query.predicates]))
+    columns = _plain_columns(data, needed)
+    tests = [(_predicate_fn(p), columns[p.attr]) for p in query.predicates]
+    positions: list[int] = []
+    rows: list[tuple] = []
+    selected = [columns[name] for name in query.select]
+    for index in range(data.num_rows):
+        if all(test(col[index]) for test, col in tests):
+            positions.append(index)
+            rows.append(tuple(col[index] for col in selected))
+    return OracleResult(names=list(query.select), positions=positions, rows=rows)
+
+
+def _reduce(function: AggregateFunction, values: list):
+    if function is AggregateFunction.COUNT:
+        return len(values)
+    if function is AggregateFunction.SUM:
+        return sum(values)
+    if function is AggregateFunction.MIN:
+        return min(values)
+    if function is AggregateFunction.MAX:
+        return max(values)
+    if function is AggregateFunction.AVG:
+        return float(sum(values)) / len(values)
+    raise ReproError(f"oracle cannot evaluate {function}")
+
+
+def aggregate_output_name(spec: AggregateSpec) -> str:
+    """The engine's output attribute name for one aggregate."""
+    if spec.function is AggregateFunction.COUNT:
+        return "count"
+    return f"{spec.function.value}_{spec.argument}"
+
+
+def oracle_aggregate(
+    data: GeneratedTable, query: ScanQuery, spec: AggregateSpec
+) -> OracleResult:
+    """Reference answer for a (possibly grouped) aggregation over a scan.
+
+    Rows come out sorted by group key; the harness compares aggregate
+    results as sorted multisets, so engine group ordering is free.
+    """
+    scanned = oracle_scan(data, query)
+    key_indexes = [scanned.names.index(name) for name in spec.group_by]
+    if spec.argument is not None:
+        arg_index = scanned.names.index(spec.argument)
+    groups: dict[tuple, list] = {}
+    for row in scanned.rows:
+        key = tuple(row[i] for i in key_indexes)
+        value = row[arg_index] if spec.argument is not None else None
+        groups.setdefault(key, []).append(value)
+    names = list(spec.group_by) + [aggregate_output_name(spec)]
+    if not scanned.rows and spec.group_by:
+        return OracleResult(names=names, positions=[], rows=[])
+    if not scanned.rows:
+        # A global aggregate over zero tuples produces zero groups in
+        # the engine (HashAggregate emits nothing on empty input).
+        return OracleResult(names=names, positions=[], rows=[])
+    rows = [
+        key + (_reduce(spec.function, values),)
+        for key, values in sorted(groups.items())
+    ]
+    return OracleResult(
+        names=names, positions=list(range(len(rows))), rows=rows
+    )
+
+
+def oracle_merge_join(
+    left_data: GeneratedTable,
+    left_query: ScanQuery,
+    right_data: GeneratedTable,
+    right_query: ScanQuery,
+    left_key: str,
+    right_key: str,
+) -> OracleResult:
+    """Reference answer for the one-to-many merge join.
+
+    Left keys must be unique (the engine enforces this); output columns
+    are the left scan's attributes followed by the right scan's
+    remaining ones, rows in right-input order — exactly the engine's
+    materialization.
+    """
+    left = oracle_scan(left_data, left_query)
+    right = oracle_scan(right_data, right_query)
+    left_key_index = left.names.index(left_key)
+    right_key_index = right.names.index(right_key)
+    by_key: dict = {}
+    for row in left.rows:
+        key = row[left_key_index]
+        if key in by_key:
+            raise ReproError(f"oracle merge join saw duplicate left key {key!r}")
+        by_key[key] = row
+    names = list(left.names) + [n for n in right.names if n not in left.names]
+    carried = [i for i, n in enumerate(right.names) if n not in left.names]
+    positions: list[int] = []
+    rows: list[tuple] = []
+    for position, row in zip(right.positions, right.rows):
+        match = by_key.get(row[right_key_index])
+        if match is None:
+            continue
+        positions.append(position)
+        rows.append(match + tuple(row[i] for i in carried))
+    return OracleResult(names=names, positions=positions, rows=rows)
+
+
+def oracle_limit(scanned: OracleResult, count: int) -> OracleResult:
+    """First ``count`` tuples in input order (the engine's Limit)."""
+    return OracleResult(
+        names=list(scanned.names),
+        positions=list(itertools.islice(scanned.positions, count)),
+        rows=list(itertools.islice(scanned.rows, count)),
+    )
+
+
+def oracle_topn(
+    scanned: OracleResult, key: str, count: int, descending: bool = False
+) -> OracleResult:
+    """The engine's TopN: reversed stable argsort, k best, re-sorted.
+
+    Ascending keeps ties in input order; descending — because the
+    engine reverses a stable ascending argsort — keeps ties in
+    *reverse* input order.  The iterative block-at-a-time selection the
+    engine performs is equivalent to this global selection because
+    top-k under a total order is associative over merges.
+    """
+    key_index = scanned.names.index(key)
+    order = sorted(range(len(scanned.rows)), key=lambda i: scanned.rows[i][key_index])
+    if descending:
+        order = order[::-1]
+    kept = sorted(order[:count])  # the retained set, back in input order
+    retained_rows = [scanned.rows[i] for i in kept]
+    retained_positions = [scanned.positions[i] for i in kept]
+    final = sorted(range(len(kept)), key=lambda i: retained_rows[i][key_index])
+    if descending:
+        final = final[::-1]
+    return OracleResult(
+        names=list(scanned.names),
+        positions=[retained_positions[i] for i in final],
+        rows=[retained_rows[i] for i in final],
+    )

@@ -16,6 +16,24 @@ from repro.storage.loader import load_table
 SMALL_ROWS = 1_500
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-fuzz",
+        action="store_true",
+        default=False,
+        help="run the deep differential-fuzz suite (tests marked 'fuzz')",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-fuzz"):
+        return
+    skip_fuzz = pytest.mark.skip(reason="deep fuzz run; use --run-fuzz (or make fuzz)")
+    for item in items:
+        if "fuzz" in item.keywords:
+            item.add_marker(skip_fuzz)
+
+
 @pytest.fixture(scope="session")
 def lineitem_data():
     return generate_lineitem(SMALL_ROWS, seed=101)

@@ -1,0 +1,42 @@
+"""Differential-fuzz quotas.
+
+The smoke quota (200 seeded cases) always runs in tier-1; the deep
+2,000-case sweep carries the ``fuzz`` marker and runs only under
+``pytest --run-fuzz`` or ``make fuzz``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.layout import Layout
+from repro.testing.harness import COLUMN_ONLY_KINDS, CONFIGS, run_suite
+from repro.testing.genquery import FEATURED_KINDS
+
+SMOKE_CASES = 200
+DEEP_CASES = 2_000
+
+
+def _achievable_cells() -> set[tuple[str, str]]:
+    cells = set()
+    for config in CONFIGS:
+        for kind in FEATURED_KINDS:
+            if kind in COLUMN_ONLY_KINDS and config.layout is not Layout.COLUMN:
+                continue
+            cells.add((config.name, kind.value))
+    return cells
+
+
+def _assert_clean(report) -> None:
+    assert report.ok, "\n" + report.format()
+    missing = _achievable_cells() - report.coverage
+    assert not missing, f"uncovered layout x codec cells: {sorted(missing)}"
+
+
+def test_fuzz_smoke_quota():
+    _assert_clean(run_suite(SMOKE_CASES, start_seed=0))
+
+
+@pytest.mark.fuzz
+def test_fuzz_deep_sweep():
+    _assert_clean(run_suite(DEEP_CASES, start_seed=0))

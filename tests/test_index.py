@@ -172,3 +172,89 @@ class TestAccessPathModel:
     def test_zero_matches(self):
         seconds, pages, seeks = index_scan_seconds(0, 1_000, 26, 4096)
         assert (seconds, pages, seeks) == (0.0, 0, 0)
+
+
+class TestIndexEdgeCases:
+    """Boundary behaviour: empty tables, degenerate predicates, break-even."""
+
+    def test_empty_table_has_no_index_path(self):
+        # An empty column cannot be indexed, and the cost model rejects
+        # zero-row tables too: the only access path is the (trivial)
+        # sequential scan.
+        with pytest.raises(PlanError):
+            SecondaryIndex("A", np.zeros(0, dtype=np.int64))
+        with pytest.raises(SimulationError):
+            index_scan_seconds(1, 0, 26, 4096)
+
+    def test_zero_match_predicate(self, orders_data, orders_row, custkey_index):
+        # A constant below the whole domain qualifies nothing: the index
+        # scan must produce a well-typed empty result identical to the
+        # table scanner's.
+        floor = int(orders_data.column("O_CUSTKEY").min()) - 1
+        predicate = Predicate("O_CUSTKEY", ComparisonOp.LT, floor)
+        select = ("O_CUSTKEY", "O_TOTALPRICE")
+        scan = IndexScan(
+            ExecutionContext(), orders_row, custkey_index, predicate, select
+        )
+        result = execute_plan(scan)
+        expected = run_scan(orders_row, ScanQuery("ORDERS", select, (predicate,)))
+        assert result.num_tuples == expected.num_tuples == 0
+        assert result.positions.size == 0
+        for name in select:
+            assert result.column(name).dtype == expected.column(name).dtype
+        assert scan.events.pages_touched == 0
+
+    def test_all_match_predicate(self, orders_data, orders_row, custkey_index):
+        # A constant above the whole domain qualifies everything: both
+        # paths return every tuple in Record-ID order.
+        ceiling = int(orders_data.column("O_CUSTKEY").max()) + 1
+        predicate = Predicate("O_CUSTKEY", ComparisonOp.LT, ceiling)
+        select = ("O_CUSTKEY",)
+        scan = IndexScan(
+            ExecutionContext(), orders_row, custkey_index, predicate, select
+        )
+        result = execute_plan(scan)
+        expected = run_scan(orders_row, ScanQuery("ORDERS", select, (predicate,)))
+        assert result.num_tuples == orders_data.num_rows
+        np.testing.assert_array_equal(result.positions, expected.positions)
+        np.testing.assert_array_equal(
+            result.column("O_CUSTKEY"), expected.column("O_CUSTKEY")
+        )
+
+    def test_breakeven_boundary_single_flip(self):
+        # As the match count grows, the winner flips from index to
+        # sequential exactly once and never flips back.
+        num_rows, per_page, page_size = 10_000_000, 26, 4096
+        grid = [int(10**e) for e in np.arange(0, 7, 0.25)]
+        winners = [
+            compare_access_paths(n, num_rows, per_page, page_size).index_wins
+            for n in grid
+        ]
+        assert winners[0] and not winners[-1]
+        flips = sum(a != b for a, b in zip(winners, winners[1:]))
+        assert flips == 1
+
+    def test_breakeven_boundary_is_tight(self):
+        # Bisect the flip point; one match either side must land within
+        # a whisker of cost parity (the model is continuous there).
+        num_rows, per_page, page_size = 10_000_000, 26, 4096
+        lo, hi = 1, num_rows
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if compare_access_paths(mid, num_rows, per_page, page_size).index_wins:
+                lo = mid
+            else:
+                hi = mid
+        below = compare_access_paths(lo, num_rows, per_page, page_size)
+        above = compare_access_paths(hi, num_rows, per_page, page_size)
+        assert below.index_wins and not above.index_wins
+        assert below.index_seconds <= below.sequential_seconds
+        assert above.index_seconds >= above.sequential_seconds
+        gap = abs(below.index_seconds - below.sequential_seconds)
+        assert gap / below.sequential_seconds < 0.01
+
+    def test_breakeven_closed_form_scales_with_width(self):
+        # Wider tuples raise the break-even selectivity linearly.
+        assert breakeven_selectivity(256) == pytest.approx(
+            2 * breakeven_selectivity(128)
+        )

@@ -103,6 +103,111 @@ def test_selective_decode_matches_full_decode(raw, data):
         assert decoded == len(positions)
 
 
+# --- RLE (variable capacity, int-only) ---------------------------------------
+
+runs_columns = st.lists(
+    st.tuples(
+        st.integers(min_value=-(2**31), max_value=2**31 - 1),
+        st.integers(min_value=1, max_value=50),
+    ),
+    min_size=1,
+    max_size=40,
+).map(lambda pairs: [v for value, length in pairs for v in [value] * length])
+
+
+@settings(max_examples=60, deadline=None)
+@given(int_columns)
+def test_rle_roundtrip_any_ints(raw):
+    roundtrip(CodecKind.RLE, IntType(), np.array(raw, dtype=np.int64))
+
+
+@settings(max_examples=60, deadline=None)
+@given(runs_columns)
+def test_rle_roundtrip_runs_heavy(raw):
+    roundtrip(CodecKind.RLE, IntType(), np.array(raw, dtype=np.int64))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1), st.integers(1, 500))
+def test_rle_single_run(value, length):
+    values = np.full(length, value, dtype=np.int64)
+    codec, payload, _state = roundtrip(CodecKind.RLE, IntType(), values)
+    # A single run stores one (value, run-length) pair regardless of
+    # length; each stream is packed separately and byte-rounded.
+    assert len(payload) == 4 + (codec.spec.bits + 7) // 8 + (codec.spec.run_bits + 7) // 8
+
+
+def test_rle_empty_page_roundtrips():
+    # Spec sized from real data, then an empty page encoded under it
+    # (the loader never writes one, but decode must not crash).
+    sized_from = np.array([7, 7, 7, 3], dtype=np.int64)
+    codec = build_codec_for_values(CodecKind.RLE, IntType(), sized_from)
+    payload, state = codec.encode_page(np.zeros(0, dtype=np.int64))
+    decoded = codec.decode_page(payload, 0, state)
+    assert decoded.size == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(runs_columns, st.integers(min_value=16, max_value=256))
+def test_rle_encode_prefix_consumes_whole_runs(raw, payload_bytes):
+    values = np.array(raw, dtype=np.int64)
+    codec = build_codec_for_values(CodecKind.RLE, IntType(), values)
+    try:
+        payload, state, consumed = codec.encode_prefix(values, payload_bytes)
+    except Exception:
+        # Payload too small for even one pair: a legitimate refusal.
+        assert codec.pair_bits > payload_bytes * 8 - 32
+        return
+    assert 1 <= consumed <= len(values)
+    decoded = codec.decode_page(payload, consumed, state)
+    np.testing.assert_array_equal(decoded, values[:consumed])
+    # Page boundaries fall on run boundaries (or a cap split).
+    if consumed < len(values):
+        assert values[consumed] != values[consumed - 1] or consumed % (1 << 16) == 0
+
+
+# --- textpack adversarial cases -----------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_textpack_roundtrip_random_widths(data):
+    width = data.draw(st.integers(min_value=1, max_value=12))
+    raw = data.draw(
+        st.lists(
+            st.binary(min_size=0, max_size=width).filter(lambda b: b"\x00" not in b),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    values = np.array(raw, dtype=f"S{width}")
+    codec, payload, _state = roundtrip(CodecKind.PACK, FixedTextType(width), values)
+    longest = max((len(v) for v in raw), default=0)
+    assert len(payload) == max(1, longest) * len(values)
+
+
+def test_textpack_max_width_values():
+    # Values at the full field width: packing must not drop a byte.
+    values = np.array([b"abcdefgh", b"zzzzzzzz", b"a"], dtype="S8")
+    codec, payload, _state = roundtrip(CodecKind.PACK, FixedTextType(8), values)
+    assert codec.packed_width == 8
+    assert len(payload) == 8 * 3
+
+
+def test_textpack_all_empty_strings():
+    values = np.array([b"", b"", b""], dtype="S8")
+    codec, _payload, _state = roundtrip(CodecKind.PACK, FixedTextType(8), values)
+    assert codec.packed_width == 1  # floor of one stored byte per value
+
+
+def test_textpack_empty_page_roundtrips():
+    sized_from = np.array([b"abc", b"de"], dtype="S8")
+    codec = build_codec_for_values(CodecKind.PACK, FixedTextType(8), sized_from)
+    payload, state = codec.encode_page(np.zeros(0, dtype="S8"))
+    decoded = codec.decode_page(payload, 0, state)
+    assert decoded.size == 0
+
+
 @settings(max_examples=40, deadline=None)
 @given(nonneg_columns)
 def test_compression_never_negative_sized(raw):
