@@ -2,7 +2,7 @@
 # PEP 660 editable builds; in offline environments without it, the
 # legacy `setup.py develop` path below installs identically.
 
-.PHONY: install test bench fuzz scrub experiments experiments-md all
+.PHONY: install test bench fuzz scrub experiments experiments-md metrics overhead-gate all
 
 install:
 	pip install -e . 2>/dev/null || python setup.py develop
@@ -29,5 +29,13 @@ experiments:
 
 experiments-md:
 	python benchmarks/generate_experiments_md.py
+
+# Run a small demo workload and print its Prometheus text exposition.
+metrics:
+	python -m repro.obs.metrics
+
+# CI gate: the tracing no-op path must stay within 5% of the raw engine.
+overhead-gate:
+	python benchmarks/check_tracing_overhead.py --out obs-artifacts
 
 all: install test bench

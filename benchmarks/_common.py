@@ -5,13 +5,21 @@ figures: it runs the experiment once under ``pytest-benchmark``, prints
 the regenerated rows (the same series the paper reports), saves them
 under ``benchmarks/results/``, and asserts the paper's qualitative
 shape so a regression in the reproduction fails the bench.
+
+Each published result is written twice: the human-readable ``.txt``
+rendering, and a machine-readable ``.json`` sibling stamped with run
+provenance (git SHA, timestamp, Python/numpy versions, calibration
+fingerprint — see :mod:`repro.obs.provenance`) so result trajectories
+are comparable across commits.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 from repro.experiments.report import ExperimentOutput
+from repro.obs.provenance import provenance
 
 #: Materialized rows the engine executes on during benches.  Event
 #: counts are scaled to the paper's 60 M; this just sets bench runtime.
@@ -25,8 +33,25 @@ def run_once(benchmark, fn) -> ExperimentOutput:
     return benchmark.pedantic(fn, rounds=1, iterations=1)
 
 
+def output_payload(output: ExperimentOutput) -> dict:
+    """An experiment's tables + series as one provenance-stamped dict."""
+    return {
+        "name": output.name,
+        "tables": [
+            {"title": table.title, "headers": table.headers, "rows": table.rows}
+            for table in output.tables
+        ],
+        "series": output.series,
+        "provenance": provenance(),
+    }
+
+
 def publish(output: ExperimentOutput, filename: str) -> None:
-    """Print the regenerated figure and persist it under results/."""
+    """Print the regenerated figure and persist it under results/.
+
+    Writes the text rendering to ``filename`` and the provenance-stamped
+    JSON payload next to it (same stem, ``.json``).
+    """
     text = output.render()
     print()
     print(text)
@@ -34,3 +59,8 @@ def publish(output: ExperimentOutput, filename: str) -> None:
     # where results/ (untracked) does not exist yet.
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / filename).write_text(text + "\n", encoding="utf-8")
+    stem = pathlib.Path(filename).stem
+    (RESULTS_DIR / f"{stem}.json").write_text(
+        json.dumps(output_payload(output), indent=2, default=str) + "\n",
+        encoding="utf-8",
+    )

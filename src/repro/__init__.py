@@ -62,6 +62,14 @@ from repro.experiments import (
 )
 from repro.iosim import DiskArraySim, FileExtent, ScanStream, SubmissionPolicy
 from repro.model import HardwareParams, QueryShape, SpeedupModel
+from repro.obs import (
+    QueryProfile,
+    SpanTracer,
+    chrome_trace,
+    flat_profile,
+    provenance,
+    render_explain,
+)
 from repro.storage import (
     BulkLoader,
     Catalog,
@@ -129,6 +137,13 @@ __all__ = [
     "ScanStream",
     "SubmissionPolicy",
     "FileExtent",
+    # observability
+    "SpanTracer",
+    "QueryProfile",
+    "render_explain",
+    "chrome_trace",
+    "flat_profile",
+    "provenance",
     # model
     "SpeedupModel",
     "QueryShape",

@@ -93,6 +93,25 @@ class Calibration:
         """A copy with some constants replaced."""
         return replace(self, **kwargs)
 
+    def fingerprint(self) -> str:
+        """A stable 12-hex digest over every constant.
+
+        Stamped into results provenance (see
+        :mod:`repro.obs.provenance`): two runs with equal fingerprints
+        simulated the same hardware, so their trajectories are
+        comparable; any constant change shows up as a new fingerprint.
+        """
+        import hashlib
+        from dataclasses import fields
+
+        parts = []
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, dict):
+                value = sorted((str(key), item) for key, item in value.items())
+            parts.append(f"{spec.name}={value!r}")
+        return hashlib.sha256(";".join(parts).encode()).hexdigest()[:12]
+
     @property
     def total_disk_bandwidth(self) -> float:
         """Aggregate sequential bandwidth of the array, bytes/sec."""

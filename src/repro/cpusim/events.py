@@ -60,6 +60,38 @@ class CostEvents:
         for kind, count in other.values_decoded.items():
             self.count_decode(kind, count)
 
+    def snapshot(self) -> "CostEvents":
+        """An independent copy of the current counters.
+
+        Span tracing marks the shared event object at window entry and
+        diffs at exit; the copy must not alias ``values_decoded``.
+        """
+        clone = CostEvents()
+        for name in _INT_FIELDS:
+            setattr(clone, name, getattr(self, name))
+        clone.values_decoded = dict(self.values_decoded)
+        return clone
+
+    def diff(self, baseline: "CostEvents") -> "CostEvents":
+        """Counter-wise ``self - baseline`` (deltas may be negative).
+
+        The inverse of :meth:`merge` over a window: diffing the counters
+        at window exit against a :meth:`snapshot` taken at entry yields
+        exactly the work recorded inside the window.
+        """
+        delta = CostEvents()
+        for name in _INT_FIELDS:
+            setattr(delta, name, getattr(self, name) - getattr(baseline, name))
+        decoded = {}
+        for kind in set(self.values_decoded) | set(baseline.values_decoded):
+            count = self.values_decoded.get(kind, 0) - baseline.values_decoded.get(
+                kind, 0
+            )
+            if count:
+                decoded[kind] = count
+        delta.values_decoded = decoded
+        return delta
+
     def scaled(self, factor: float) -> "CostEvents":
         """A copy with every counter multiplied by ``factor``.
 

@@ -26,6 +26,9 @@ from repro.engine.query import ScanQuery
 from repro.errors import ChecksumError, PlanError, StorageError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ScanMeasurement, measure_scan
+from repro.obs.export import QueryProfile
+from repro.obs.provenance import provenance
+from repro.obs.trace import SpanTracer
 from repro.storage.layout import Layout
 from repro.storage.loader import load_table
 from repro.storage.scrub import CorruptionReport, scrub_table
@@ -147,6 +150,65 @@ class Database:
         else:
             target = entry.tables[self.layouts[0]]
         return run_scan(target, scan, context, salvage=salvage)
+
+    # --- observability -------------------------------------------------------
+
+    def profile(
+        self,
+        table: str,
+        select: tuple[str, ...],
+        predicates: tuple[Predicate, ...] = (),
+        layout: Layout | None = None,
+        use_views: bool = True,
+        salvage: bool = False,
+    ) -> QueryProfile:
+        """Execute a scan under span tracing.
+
+        Returns a :class:`~repro.obs.export.QueryProfile`: the
+        materialized result plus the per-operator span tree, from which
+        the EXPLAIN ANALYZE text (``.explain_text()``), a Chrome/
+        Perfetto trace (``.chrome_trace()``/``.save_chrome_trace()``),
+        and a provenance-stamped flat profile (``.to_dict()``) derive.
+        """
+        context = ExecutionContext(tracer=SpanTracer())
+        result = self.query(
+            table,
+            select,
+            predicates,
+            layout=layout,
+            use_views=use_views,
+            context=context,
+            salvage=salvage,
+        )
+        return QueryProfile(
+            result=result,
+            tracer=context.tracer,
+            provenance=provenance(context.calibration),
+        )
+
+    def explain(
+        self,
+        table: str,
+        select: tuple[str, ...],
+        predicates: tuple[Predicate, ...] = (),
+        layout: Layout | None = None,
+        use_views: bool = True,
+        salvage: bool = False,
+    ) -> str:
+        """EXPLAIN ANALYZE: execute the scan traced, render the plan.
+
+        Every plan node is annotated with its wall time, ``next()``
+        call/block/row counts, and its exclusive share of the query's
+        :class:`~repro.cpusim.events.CostEvents`.
+        """
+        return self.profile(
+            table,
+            select,
+            predicates,
+            layout=layout,
+            use_views=use_views,
+            salvage=salvage,
+        ).explain_text()
 
     def predicate(self, table: str, attr: str, selectivity: float) -> Predicate:
         """A selectivity-calibrated predicate over registered data."""

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from repro.cpusim.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.cpusim.events import CostEvents
 from repro.engine.blocks import DEFAULT_BLOCK_SIZE
+from repro.obs.trace import SpanTracer
 from repro.storage.scrub import CorruptionReport
 
 
@@ -28,8 +29,20 @@ class ExecutionContext:
     events: CostEvents = field(default_factory=CostEvents)
     #: Pages skipped by salvage-mode scans during this execution.
     corruption: CorruptionReport = field(default_factory=CorruptionReport)
+    #: Per-operator span tracing (see :mod:`repro.obs.trace`).  ``None``
+    #: (the default) keeps the operator layer on its untraced fast path.
+    tracer: SpanTracer | None = None
 
     def reset_events(self) -> None:
-        """Fresh counters (e.g. between repeated executions)."""
+        """Fresh counters (e.g. between repeated executions).
+
+        The old :attr:`events` object is *replaced*, not zeroed, so a
+        :class:`~repro.engine.executor.QueryResult` holding it keeps
+        the counts of the execution that produced it.  Operators must
+        therefore never cache the events object across calls — they
+        read it through :attr:`Operator.events
+        <repro.engine.operators.base.Operator.events>` on every call,
+        which always resolves to the context's current object.
+        """
         self.events = CostEvents()
         self.corruption = CorruptionReport()

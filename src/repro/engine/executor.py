@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -12,6 +13,7 @@ from repro.engine.context import ExecutionContext
 from repro.engine.operators.base import Operator
 from repro.engine.plan import ColumnScannerKind, scan_plan
 from repro.engine.query import ScanQuery
+from repro.obs import metrics as obs_metrics
 from repro.storage.scrub import CorruptionReport
 from repro.storage.table import Table
 
@@ -40,12 +42,17 @@ class QueryResult:
         return self.columns[name]
 
     def rows(self) -> list[tuple]:
-        """Tuples in column order (testing convenience)."""
-        names = list(self.columns)
-        return [
-            tuple(self.columns[name][i] for name in names)
-            for i in range(self.num_tuples)
-        ]
+        """Tuples in column order, materialized as Python objects.
+
+        Testing convenience only — the engine itself never pivots
+        columns back into tuples.  One ``zip(*columns)`` pass over
+        columns converted via ``ndarray.tolist()`` (a single C-level
+        conversion per column) instead of per-cell numpy indexing,
+        which was O(tuples x columns) Python-level work.
+        """
+        if not self.columns:
+            return [() for _ in range(self.num_tuples)]
+        return list(zip(*(self.columns[name].tolist() for name in self.columns)))
 
     def as_block(self) -> Block:
         return Block(columns=self.columns, positions=self.positions)
@@ -80,4 +87,10 @@ def run_scan(
     if salvage:
         context.strict_integrity = False
     plan = scan_plan(context, table, query, column_scanner)
-    return execute_plan(plan)
+    if not obs_metrics.enabled():
+        return execute_plan(plan)
+    started = time.perf_counter()
+    result = execute_plan(plan)
+    obs_metrics.QUERIES.inc()
+    obs_metrics.QUERY_SECONDS.observe(time.perf_counter() - started)
+    return result

@@ -24,6 +24,14 @@ class _AggregateBase(Operator):
     def children(self) -> list[Operator]:
         return [self.child]
 
+    def describe(self) -> str:
+        call = self.spec.function.value
+        if self.spec.argument is not None:
+            call += f"({self.spec.argument})"
+        if self.spec.group_by:
+            call += f" group by {', '.join(self.spec.group_by)}"
+        return call
+
     def _open(self) -> None:
         self._ready = []
         self._emitted = False

@@ -3,15 +3,24 @@
 Each operator calls ``next()`` on its child and receives a block of
 tuples (or ``None`` at end of stream).  Operators are agnostic about
 the database schema and work on generic column dictionaries.
+
+When the context carries a :class:`~repro.obs.trace.SpanTracer`, the
+public ``open()``/``next()``/``close()`` methods additionally record a
+span per call: wall time plus the :class:`~repro.cpusim.events.CostEvents`
+delta across the call, attributed exclusively (child-operator work is
+subtracted out by the tracer's stack).  With the default
+``tracer is None`` the traced branches are skipped entirely.
 """
 
 from __future__ import annotations
 
 import abc
+import time
 
 from repro.engine.blocks import Block
 from repro.engine.context import ExecutionContext
 from repro.errors import CompressionError, EngineError, StorageError
+from repro.obs import metrics as obs_metrics
 
 #: What salvage mode treats as "this page is corrupt, skip it": checksum
 #: mismatches, malformed page bytes, codec failures, missing pages, and
@@ -30,6 +39,10 @@ class Operator(abc.ABC):
     def events(self):
         return self.context.events
 
+    def describe(self) -> str:
+        """One-line span annotation for EXPLAIN/trace output (hook)."""
+        return ""
+
     def _salvage_decode(self, decode, file_name: str, page_index: int, row_span: int):
         """Run one page read+decode under the integrity policy.
 
@@ -40,10 +53,16 @@ class Operator(abc.ABC):
         consistent.
         """
         try:
-            result = decode()
+            if obs_metrics.enabled():
+                started = time.perf_counter()
+                result = decode()
+                obs_metrics.PAGE_DECODE_SECONDS.observe(time.perf_counter() - started)
+            else:
+                result = decode()
         except SALVAGEABLE_ERRORS as exc:
             if self.context.strict_integrity:
                 raise
+            obs_metrics.PAGES_SALVAGED.inc()
             self.context.corruption.record(file_name, page_index, row_span, exc)
             return None
         self.context.corruption.pages_scanned += 1
@@ -51,26 +70,62 @@ class Operator(abc.ABC):
 
     def open(self) -> None:
         """Prepare for iteration; children are opened first."""
-        for child in self.children():
-            child.open()
-        self._open()
-        self._opened = True
+        tracer = self.context.tracer
+        if tracer is None:
+            for child in self.children():
+                child.open()
+            self._open()
+            self._opened = True
+            return
+        frame = tracer.enter(self, "open")
+        try:
+            for child in self.children():
+                child.open()
+            self._open()
+            self._opened = True
+        finally:
+            tracer.exit(frame, self.context.events)
 
     def next(self) -> Block | None:
         """The next block of tuples, or ``None`` when exhausted."""
         if not self._opened:
             raise EngineError(f"{type(self).__name__}.next() before open()")
-        block = self._next()
-        if block is not None and len(block):
-            self.events.blocks_produced += 1
-        return block
+        tracer = self.context.tracer
+        if tracer is None:
+            block = self._next()
+            if block is not None and len(block):
+                self.events.blocks_produced += 1
+            return block
+        frame = tracer.enter(self, "next")
+        rows = 0
+        blocks = 0
+        try:
+            block = self._next()
+            if block is not None and len(block):
+                self.events.blocks_produced += 1
+                rows = len(block)
+                blocks = 1
+            return block
+        finally:
+            tracer.exit(frame, self.context.events, rows=rows, blocks=blocks)
 
     def close(self) -> None:
         """Release state; children are closed last."""
-        self._close()
-        for child in self.children():
-            child.close()
-        self._opened = False
+        tracer = self.context.tracer
+        if tracer is None:
+            self._close()
+            for child in self.children():
+                child.close()
+            self._opened = False
+            return
+        frame = tracer.enter(self, "close")
+        try:
+            self._close()
+            for child in self.children():
+                child.close()
+            self._opened = False
+        finally:
+            tracer.exit(frame, self.context.events)
 
     def children(self) -> list["Operator"]:
         """Child operators (empty for scanners)."""

@@ -32,6 +32,9 @@ class Limit(Operator):
     def children(self) -> list[Operator]:
         return [self.child]
 
+    def describe(self) -> str:
+        return f"n={self.count}"
+
     def _open(self) -> None:
         self._remaining = self.count
 
@@ -72,6 +75,10 @@ class TopN(Operator):
 
     def children(self) -> list[Operator]:
         return [self.child]
+
+    def describe(self) -> str:
+        order = "largest" if self.descending else "smallest"
+        return f"{order} {self.count} by {self.key}"
 
     def _open(self) -> None:
         self._ready = []

@@ -38,6 +38,9 @@ class MergeJoin(Operator):
     def children(self) -> list[Operator]:
         return [self.left, self.right]
 
+    def describe(self) -> str:
+        return f"{self.left_key} = {self.right_key}"
+
     def _open(self) -> None:
         self._ready = []
         self._done = False

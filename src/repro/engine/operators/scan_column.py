@@ -104,6 +104,12 @@ class ColumnScanner(Operator):
 
     # --- execution -------------------------------------------------------------
 
+    def describe(self) -> str:
+        detail = f"{self.table.schema.name}: {', '.join(self.select)}"
+        if self.predicates:
+            detail += f" | {len(self.predicates)} predicate(s)"
+        return f"{detail} | {len(self._nodes)} scan node(s)"
+
     def _open(self) -> None:
         self._ready.clear()
         self._done = False

@@ -66,6 +66,12 @@ class FusedColumnScanner(Operator):
         """The columns read (all densely)."""
         return list(self._attrs)
 
+    def describe(self) -> str:
+        detail = f"{self.table.schema.name}: {', '.join(self.select)}"
+        if self.predicates:
+            detail += f" | {len(self.predicates)} predicate(s)"
+        return detail
+
     def _open(self) -> None:
         self._ready.clear()
         self._done = False

@@ -54,6 +54,12 @@ class PaxScanner(Operator):
         """The minipages this scan decodes."""
         return list(self._attrs)
 
+    def describe(self) -> str:
+        detail = f"{self.table.schema.name}: {', '.join(self.select)}"
+        if self.predicates:
+            detail += f" | {len(self.predicates)} predicate(s)"
+        return detail
+
     def _open(self) -> None:
         self._page_index = 0
         self._ready.clear()

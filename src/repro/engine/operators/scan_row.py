@@ -53,6 +53,12 @@ class RowScanner(Operator):
             attr.spec.is_compressed for attr in table.schema
         )
 
+    def describe(self) -> str:
+        detail = f"{self.table.schema.name}: {', '.join(self.select)}"
+        if self.predicates:
+            detail += f" | {len(self.predicates)} predicate(s)"
+        return detail
+
     def _open(self) -> None:
         self._page_index = 0
         self._ready.clear()

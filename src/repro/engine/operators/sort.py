@@ -37,6 +37,9 @@ class SortOperator(Operator):
     def children(self) -> list[Operator]:
         return [self.child]
 
+    def describe(self) -> str:
+        return f"key={self.key}" + (" desc" if self.descending else "")
+
     def _open(self) -> None:
         self._ready = []
         self._done = False

@@ -39,12 +39,47 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_EXECUTED_ROWS,
         help="materialized rows the engine executes on",
     )
+    parser.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="also write each experiment's tables and series to DIR as "
+        "provenance-stamped JSON (git SHA, calibration fingerprint, ...)",
+    )
     args = parser.parse_args(argv)
     names = args.experiments or list(ALL_EXPERIMENTS)
+    json_dir = None
+    stamp = None
+    if args.json is not None:
+        import pathlib
+
+        from repro.obs.provenance import provenance
+
+        json_dir = pathlib.Path(args.json)
+        json_dir.mkdir(parents=True, exist_ok=True)
+        stamp = provenance()
     for name in names:
         started = time.time()
         output = ALL_EXPERIMENTS[name](num_rows=args.rows)
         print(output.render())
+        if json_dir is not None:
+            import json as json_mod
+
+            payload = {
+                "name": output.name,
+                "experiment": name,
+                "rows": args.rows,
+                "tables": [
+                    {"title": t.title, "headers": t.headers, "rows": t.rows}
+                    for t in output.tables
+                ],
+                "series": output.series,
+                "provenance": stamp,
+            }
+            (json_dir / f"{name}.json").write_text(
+                json_mod.dumps(payload, indent=2, default=str) + "\n",
+                encoding="utf-8",
+            )
         if args.charts and output.series:
             from repro.experiments.charts import render_bar_chart
 

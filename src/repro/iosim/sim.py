@@ -18,6 +18,23 @@ from repro.cpusim.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.errors import SimulationError
 from repro.iosim.request import IoRequest
 from repro.iosim.streams import ScanStream
+from repro.obs import metrics as obs_metrics
+
+
+@dataclass(frozen=True)
+class IoSlice:
+    """One served I/O unit on the simulated clock (for trace export).
+
+    Feed a list of these to :func:`repro.obs.export.chrome_trace` via
+    ``io_slices=`` to see per-stream disk activity in Perfetto.
+    """
+
+    stream: str
+    file: str
+    start: float          #: simulated seconds (seek included)
+    finish: float
+    size_bytes: int
+    seek_seconds: float   #: 0.0 when the unit was contiguous
 
 
 @dataclass
@@ -68,8 +85,15 @@ class DiskArraySim:
     def transfer_seconds(self, size_bytes: int) -> float:
         return size_bytes / self.calibration.total_disk_bandwidth
 
-    def run(self, streams: list[ScanStream]) -> dict[str, StreamStats]:
-        """Run all streams to completion; returns stats per stream."""
+    def run(
+        self, streams: list[ScanStream], trace: list | None = None
+    ) -> dict[str, StreamStats]:
+        """Run all streams to completion; returns stats per stream.
+
+        When ``trace`` is a list, one :class:`IoSlice` per served unit
+        is appended to it (per-stream I/O spans on the simulated
+        clock).
+        """
         names = [s.name for s in streams]
         if len(set(names)) != len(names):
             raise SimulationError(f"duplicate stream names: {names}")
@@ -136,6 +160,23 @@ class DiskArraySim:
             stats.seek_seconds += seek
             stats.transfer_seconds += transfer
             stats.finish_time = max(stats.finish_time, finish)
+
+            if obs_metrics.enabled():
+                obs_metrics.IO_UNITS.inc()
+                obs_metrics.IO_BYTES.inc(request.size_bytes)
+                if not contiguous:
+                    obs_metrics.IO_SEEKS.inc()
+            if trace is not None:
+                trace.append(
+                    IoSlice(
+                        stream=request.stream_name,
+                        file=request.file_name,
+                        start=start,
+                        finish=finish,
+                        size_bytes=request.size_bytes,
+                        seek_seconds=seek,
+                    )
+                )
 
             server_time = finish
             last_file = request.file_name

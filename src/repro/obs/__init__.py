@@ -1,0 +1,52 @@
+"""Observability: span tracing, EXPLAIN ANALYZE, metrics, provenance.
+
+The measurement substrate for every performance claim this repo makes:
+
+* :mod:`repro.obs.trace` — per-operator span tracing with exact
+  :class:`~repro.cpusim.events.CostEvents` attribution;
+* :mod:`repro.obs.explain` — EXPLAIN ANALYZE text rendering;
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON and flat
+  profiles (:class:`QueryProfile` bundles one traced query);
+* :mod:`repro.obs.metrics` — process-wide Prometheus-style counters and
+  log-scale histograms (``python -m repro.obs.metrics`` for
+  exposition);
+* :mod:`repro.obs.provenance` — git SHA + calibration fingerprint
+  stamps for results artifacts.
+
+Everything is opt-in: with ``ExecutionContext.tracer`` left ``None``
+and metrics quiesced via :func:`repro.obs.metrics.disable`, the engine
+runs its untraced fast path.
+"""
+
+from repro.obs import metrics
+from repro.obs.explain import format_ns, render_explain
+from repro.obs.export import QueryProfile, chrome_trace, flat_profile, write_json
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
+)
+from repro.obs.provenance import git_sha, provenance
+from repro.obs.trace import OperatorSpan, SpanTracer, TraceSlice
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "OperatorSpan",
+    "QueryProfile",
+    "REGISTRY",
+    "SpanTracer",
+    "TraceSlice",
+    "chrome_trace",
+    "flat_profile",
+    "format_ns",
+    "git_sha",
+    "metrics",
+    "provenance",
+    "render_explain",
+    "render_prometheus",
+    "write_json",
+]

@@ -1,0 +1,97 @@
+"""EXPLAIN ANALYZE rendering: a span tree as an annotated plan.
+
+Turns the :class:`~repro.obs.trace.SpanTracer` output into the familiar
+text shape::
+
+    EXPLAIN ANALYZE  (wall 2.41 ms, 3 operators)
+    SortAggregate  [sum(L_QUANTITY) group by L_SHIPMODE]
+    |  wall 2.41 ms (self 0.43 ms) | next() x2 | blocks 1 | rows 7
+    |  events: agg_updates=400 group_lookups=400 ...
+    '- SortOperator  [key=L_SHIPMODE]
+       |  ...
+
+Wall times are inclusive (like PostgreSQL's ``actual time``); the
+``events:`` line is the node's **exclusive** work, so the event lines
+over the whole tree sum to the query total.
+"""
+
+from __future__ import annotations
+
+from repro.obs.trace import OperatorSpan, SpanTracer
+
+__all__ = ["render_explain", "format_ns"]
+
+
+def format_ns(ns: int | float) -> str:
+    """A duration with a unit that keeps 3-4 significant digits."""
+    ns = float(ns)
+    if abs(ns) < 1_000:
+        return f"{ns:.0f} ns"
+    if abs(ns) < 1_000_000:
+        return f"{ns / 1_000:.2f} us"
+    if abs(ns) < 1_000_000_000:
+        return f"{ns / 1_000_000:.2f} ms"
+    return f"{ns / 1_000_000_000:.3f} s"
+
+
+def _events_line(span: OperatorSpan) -> str:
+    items = [
+        (name, value)
+        for name, value in span.events.as_dict().items()
+        if value
+    ]
+    if not items:
+        return "events: (none)"
+    items.sort(key=lambda pair: (-abs(pair[1]), pair[0]))
+    return "events: " + " ".join(f"{name}={value:,}" for name, value in items)
+
+
+def _span_lines(span: OperatorSpan) -> list[str]:
+    header = f"{span.name}"
+    if span.detail:
+        header += f"  [{span.detail}]"
+    timing = (
+        f"wall {format_ns(span.wall_ns)} (self {format_ns(span.self_ns)})"
+        f" | next() x{span.next_calls}"
+        f" | blocks {span.blocks} | rows {span.rows:,}"
+    )
+    return [header, f"|  {timing}", f"|  {_events_line(span)}"]
+
+
+def _render_tree(span: OperatorSpan, prefix: str, connector: str, out: list[str]) -> None:
+    lines = _span_lines(span)
+    out.append(prefix + connector + lines[0])
+    if connector == "+- ":
+        body = prefix + "|  "
+    elif connector == "'- ":
+        body = prefix + "   "
+    else:
+        body = prefix
+    for line in lines[1:]:
+        out.append(body + line)
+    for index, child in enumerate(span.children):
+        last = index == len(span.children) - 1
+        _render_tree(child, body, "'- " if last else "+- ", out)
+
+
+def render_explain(source: SpanTracer | OperatorSpan | list[OperatorSpan]) -> str:
+    """EXPLAIN ANALYZE text for a tracer or a (list of) root span(s)."""
+    if isinstance(source, SpanTracer):
+        roots = source.roots
+        total_ns = source.total_wall_ns
+    elif isinstance(source, OperatorSpan):
+        roots = [source]
+        total_ns = source.wall_ns
+    else:
+        roots = list(source)
+        total_ns = sum(root.wall_ns for root in roots)
+    if not roots:
+        return "EXPLAIN ANALYZE  (no spans recorded)"
+    count = sum(1 for root in roots for _ in root.walk())
+    out = [
+        f"EXPLAIN ANALYZE  (wall {format_ns(total_ns)}, "
+        f"{count} operator{'s' if count != 1 else ''})"
+    ]
+    for root in roots:
+        _render_tree(root, "", "", out)
+    return "\n".join(out)

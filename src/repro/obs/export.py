@@ -1,0 +1,196 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and flat profiles.
+
+Two machine-readable views of one :class:`~repro.obs.trace.SpanTracer`:
+
+* :func:`chrome_trace` — the Trace Event Format that
+  ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_ load
+  directly.  Operator calls become complete (``"ph": "X"``) events on
+  the query thread; simulated disk activity (see
+  :meth:`~repro.iosim.sim.DiskArraySim.run`'s ``trace`` argument)
+  becomes a second process with one thread per stream, on the
+  *simulated* clock.
+* :func:`flat_profile` — a flat JSON list of aggregated spans (wall
+  times, call counts, exclusive events) plus plan totals and a
+  provenance stamp, for diffing across commits.
+
+:class:`QueryProfile` bundles result + tracer + provenance; it is what
+:meth:`repro.database.Database.profile` returns.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.obs.explain import render_explain
+from repro.obs.trace import SpanTracer
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.engine.executor import QueryResult
+
+__all__ = ["QueryProfile", "chrome_trace", "flat_profile", "write_json"]
+
+
+def chrome_trace(
+    tracer: SpanTracer | None = None,
+    io_slices=None,
+    process_name: str = "repro query engine",
+) -> dict:
+    """A Chrome/Perfetto ``trace_event`` document.
+
+    Operator slices use microseconds of real wall time; I/O slices (if
+    given) use microseconds of *simulated* disk time on their own
+    process track, so both are inspectable even though the clocks are
+    unrelated.
+    """
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": process_name},
+        },
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "name": "thread_name",
+            "args": {"name": "query execution"},
+        },
+    ]
+    if tracer is not None:
+        for piece in tracer.slices:
+            events.append(
+                {
+                    "name": f"{piece.name}.{piece.phase}",
+                    "cat": "operator",
+                    "ph": "X",
+                    "ts": piece.start_ns / 1_000,
+                    "dur": piece.duration_ns / 1_000,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": {"span_id": piece.span_id, "phase": piece.phase},
+                }
+            )
+    if io_slices:
+        events.append(
+            {
+                "ph": "M",
+                "pid": 2,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": "disk-array simulation (simulated time)"},
+            }
+        )
+        tids: dict[str, int] = {}
+        for piece in io_slices:
+            tid = tids.setdefault(piece.stream, len(tids) + 1)
+            if tid == len(tids):  # first slice of this stream names its track
+                events.append(
+                    {
+                        "ph": "M",
+                        "pid": 2,
+                        "tid": tid,
+                        "name": "thread_name",
+                        "args": {"name": f"stream {piece.stream}"},
+                    }
+                )
+            events.append(
+                {
+                    "name": piece.file,
+                    "cat": "io",
+                    "ph": "X",
+                    "ts": piece.start * 1e6,
+                    "dur": (piece.finish - piece.start) * 1e6,
+                    "pid": 2,
+                    "tid": tid,
+                    "args": {
+                        "bytes": piece.size_bytes,
+                        "seek_seconds": piece.seek_seconds,
+                    },
+                }
+            )
+    document = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if tracer is not None and tracer.dropped_slices:
+        document["metadata"] = {"dropped_slices": tracer.dropped_slices}
+    return document
+
+
+def _span_record(span, parent_id: int | None, depth: int) -> dict:
+    return {
+        "span_id": span.span_id,
+        "parent_id": parent_id,
+        "depth": depth,
+        "operator": span.name,
+        "detail": span.detail,
+        "wall_ns": span.wall_ns,
+        "self_ns": span.self_ns,
+        "open_ns": span.open_ns,
+        "next_ns": span.next_ns,
+        "close_ns": span.close_ns,
+        "next_calls": span.next_calls,
+        "blocks": span.blocks,
+        "rows": span.rows,
+        "events": span.events.as_dict(),
+    }
+
+
+def flat_profile(tracer: SpanTracer, provenance: dict | None = None) -> dict:
+    """Aggregated spans as one flat JSON-ready dict."""
+    records = []
+
+    def visit(span, parent_id, depth):
+        records.append(_span_record(span, parent_id, depth))
+        for child in span.children:
+            visit(child, span.span_id, depth + 1)
+
+    for root in tracer.roots:
+        visit(root, None, 0)
+    profile = {
+        "spans": records,
+        "total_wall_ns": tracer.total_wall_ns,
+        "total_events": tracer.total_events().as_dict(),
+    }
+    if provenance is not None:
+        profile["provenance"] = provenance
+    return profile
+
+
+def write_json(path, payload: dict) -> pathlib.Path:
+    """Write one JSON document (creating parent directories)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, default=str) + "\n", encoding="utf-8")
+    return path
+
+
+@dataclass
+class QueryProfile:
+    """One traced query execution: its result, spans, and provenance."""
+
+    result: "QueryResult"
+    tracer: SpanTracer
+    provenance: dict
+
+    def explain_text(self) -> str:
+        """The EXPLAIN ANALYZE rendering of the traced plan."""
+        return render_explain(self.tracer)
+
+    def chrome_trace(self) -> dict:
+        """Chrome/Perfetto ``trace_event`` JSON for this execution."""
+        return chrome_trace(self.tracer)
+
+    def to_dict(self) -> dict:
+        """Flat profile + provenance (for saving or diffing)."""
+        return flat_profile(self.tracer, provenance=self.provenance)
+
+    def save_chrome_trace(self, path) -> pathlib.Path:
+        """Write the Chrome trace to ``path`` (open in Perfetto)."""
+        return write_json(path, self.chrome_trace())
+
+    def save_profile(self, path) -> pathlib.Path:
+        """Write the flat profile JSON to ``path``."""
+        return write_json(path, self.to_dict())

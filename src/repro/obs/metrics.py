@@ -1,0 +1,355 @@
+"""Process-wide metrics: counters and log-scale latency histograms.
+
+A deliberately small Prometheus-shaped metrics layer: named counters
+and histograms registered in a process-global :data:`REGISTRY`, with
+text-format exposition (`the format Prometheus scrapes
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_).
+
+Hooks live at coarse grain only — per query, per page decode, per retry,
+per simulated I/O unit — never per tuple, so the always-on cost is a
+handful of integer adds per page.  :func:`disable` turns every
+``inc``/``observe`` into an early return for true no-op runs (the
+overhead gate in CI measures the engine with the whole obs layer
+quiescent).
+
+Exposition::
+
+    python -m repro.obs.metrics                 # demo workload, print text
+    python -m repro.obs.metrics --serve 9100    # serve /metrics over HTTP
+"""
+
+from __future__ import annotations
+
+import bisect
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "enabled",
+    "enable",
+    "disable",
+    "exponential_buckets",
+    "render_prometheus",
+    "main",
+]
+
+#: Module-global switch; checked by every mutation, so a disabled
+#: registry costs one attribute load + branch per hook site.
+_enabled = True
+
+
+def enabled() -> bool:
+    """Whether metric mutations are currently recorded."""
+    return _enabled
+
+
+def enable() -> None:
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """No-op mode: every ``inc``/``observe`` returns immediately."""
+    global _enabled
+    _enabled = False
+
+
+_NAME_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+def _check_name(name: str) -> str:
+    if not name or name[0].isdigit() or not set(name) <= _NAME_OK:
+        raise ValueError(f"invalid Prometheus metric name: {name!r}")
+    return name
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> list[float]:
+    """``count`` log-scale bucket bounds: start, start*factor, ..."""
+    if start <= 0 or factor <= 1 or count < 1:
+        raise ValueError(
+            f"need start > 0, factor > 1, count >= 1: {start}, {factor}, {count}"
+        )
+    return [start * factor**i for i in range(count)]
+
+
+#: Default latency buckets: 1 µs → ~67 s in ×2 steps.
+LATENCY_BUCKETS = exponential_buckets(1e-6, 2.0, 27)
+
+
+def _fmt(value: float) -> str:
+    """A float in Prometheus sample syntax (integers without the dot)."""
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str):
+        self.name = _check_name(name)
+        self.help = help
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not _enabled:
+            return
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease: {amount}")
+        self._value += amount
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+    def render(self) -> list[str]:
+        return [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} counter",
+            f"{self.name} {_fmt(self._value)}",
+        ]
+
+
+class Histogram:
+    """A cumulative histogram over fixed (log-scale) bucket bounds."""
+
+    __slots__ = ("name", "help", "bounds", "_counts", "_sum", "_count")
+
+    def __init__(self, name: str, help: str, buckets: list[float] | None = None):
+        self.name = _check_name(name)
+        self.help = help
+        self.bounds = sorted(buckets if buckets is not None else LATENCY_BUCKETS)
+        if not self.bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        # One slot per finite bound plus the implicit +Inf overflow slot.
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def observe(self, value: float) -> None:
+        if not _enabled:
+            return
+        # `le` semantics: the first bound >= value owns the observation.
+        self._counts[bisect.bisect_left(self.bounds, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    def reset(self) -> None:
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative ``(le, count)`` pairs, ending with ``(inf, count)``."""
+        out = []
+        running = 0
+        for bound, count in zip(self.bounds, self._counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), self._count))
+        return out
+
+    def render(self) -> list[str]:
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} histogram",
+        ]
+        for bound, running in self.bucket_counts():
+            le = "+Inf" if bound == float("inf") else _fmt(bound)
+            lines.append(f'{self.name}_bucket{{le="{le}"}} {running}')
+        lines.append(f"{self.name}_sum {_fmt(self._sum)}")
+        lines.append(f"{self.name}_count {self._count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Named metrics plus their text-format exposition."""
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Histogram] = {}
+
+    def counter(self, name: str, help: str) -> Counter:
+        """Get or create a counter (idempotent per name)."""
+        return self._register(name, lambda: Counter(name, help), Counter)
+
+    def histogram(
+        self, name: str, help: str, buckets: list[float] | None = None
+    ) -> Histogram:
+        """Get or create a histogram (idempotent per name)."""
+        return self._register(name, lambda: Histogram(name, help, buckets), Histogram)
+
+    def _register(self, name, build, expected):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = build()
+        elif not isinstance(metric, expected):
+            raise ValueError(
+                f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        return metric
+
+    def get(self, name: str) -> Counter | Histogram:
+        return self._metrics[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def reset_values(self) -> None:
+        """Zero every metric (tests); registrations are kept."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def render(self) -> str:
+        """Prometheus text exposition format, newline-terminated."""
+        lines: list[str] = []
+        for name in self.names():
+            lines.extend(self._metrics[name].render())
+        return "\n".join(lines) + "\n"
+
+
+#: The process-wide registry every instrumented subsystem writes to.
+REGISTRY = MetricsRegistry()
+
+
+def render_prometheus() -> str:
+    """Exposition text for the global registry."""
+    return REGISTRY.render()
+
+
+# --- the engine's standard metrics ---------------------------------------
+# Registered at import so exposition always shows the full set (a scrape
+# before the first query still sees the series at zero).
+
+QUERIES = REGISTRY.counter(
+    "repro_queries_total", "Scan queries executed by the engine."
+)
+QUERY_SECONDS = REGISTRY.histogram(
+    "repro_query_seconds", "Wall-clock latency of one query execution."
+)
+PAGE_DECODE_SECONDS = REGISTRY.histogram(
+    "repro_page_decode_seconds", "Wall-clock time to read+decode one page."
+)
+PAGES_SALVAGED = REGISTRY.counter(
+    "repro_pages_salvaged_total",
+    "Corrupt pages skipped by salvage-mode scans instead of aborting.",
+)
+RETRY_ATTEMPTS = REGISTRY.counter(
+    "repro_io_retry_attempts_total",
+    "Transient-read retries issued by the storage retry policy.",
+)
+RETRY_BACKOFF_SECONDS = REGISTRY.counter(
+    "repro_io_retry_backoff_seconds_total",
+    "Total backoff delay scheduled before storage retries.",
+)
+RETRY_EXHAUSTED = REGISTRY.counter(
+    "repro_io_retry_exhausted_total",
+    "Reads that failed even after exhausting the retry budget.",
+)
+IO_UNITS = REGISTRY.counter(
+    "repro_iosim_units_total", "I/O units served by the disk-array simulator."
+)
+IO_BYTES = REGISTRY.counter(
+    "repro_iosim_bytes_total", "Bytes transferred by the disk-array simulator."
+)
+IO_SEEKS = REGISTRY.counter(
+    "repro_iosim_seeks_total",
+    "Simulated head repositionings (non-contiguous I/O units).",
+)
+
+
+# --- exposition CLI -------------------------------------------------------
+
+
+def _demo_workload(rows: int) -> None:
+    """A few queries so the exposition shows live numbers."""
+    from repro.data.tpch import generate_orders
+    from repro.database import Database
+
+    db = Database()
+    db.create_table(generate_orders(rows, seed=11))
+    predicate = db.predicate("ORDERS", "O_TOTALPRICE", 0.25)
+    db.query("ORDERS", select=("O_ORDERKEY", "O_TOTALPRICE"))
+    db.query(
+        "ORDERS",
+        select=("O_ORDERDATE", "O_TOTALPRICE"),
+        predicates=(predicate,),
+    )
+
+
+def _serve(port: int) -> None:  # pragma: no cover - interactive
+    import http.server
+
+    class Handler(http.server.BaseHTTPRequestHandler):
+        def do_GET(self):
+            body = render_prometheus().encode()
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *args):
+            pass
+
+    server = http.server.HTTPServer(("", port), Handler)
+    print(f"serving Prometheus metrics on :{port}/metrics (ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.metrics",
+        description="Prometheus text-format exposition of the engine metrics.",
+    )
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=2_000,
+        help="rows of the demo workload run before exposition (0 to skip)",
+    )
+    parser.add_argument(
+        "--serve",
+        type=int,
+        metavar="PORT",
+        default=None,
+        help="serve the exposition over HTTP instead of printing once",
+    )
+    args = parser.parse_args(argv)
+    if args.rows:
+        _demo_workload(args.rows)
+    if args.serve is not None:  # pragma: no cover - interactive
+        _serve(args.serve)
+        return 0
+    print(render_prometheus(), end="")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    # Under ``python -m repro.obs.metrics`` runpy executes this file as a
+    # *second* module instance (``__main__``) with its own REGISTRY; the
+    # engine's hooks write to the instance imported via ``repro.obs``.
+    # Delegate to that canonical instance so the exposition shows the
+    # demo workload's live numbers instead of a parallel zeroed registry.
+    from repro.obs import metrics as _canonical
+
+    raise SystemExit(_canonical.main())

@@ -1,0 +1,79 @@
+"""Run provenance: where a measurement came from.
+
+A benchmark number without its git SHA and calibration constants is not
+comparable to anything; :func:`provenance` builds the stamp every
+results JSON carries — git SHA, UTC timestamp, interpreter and numpy
+versions, platform, and the :meth:`Calibration.fingerprint
+<repro.cpusim.calibration.Calibration.fingerprint>` of the cost-model
+constants the run used.  Two results files with the same fingerprint
+were produced by the same simulated hardware; a drifted fingerprint
+explains a drifted trajectory.
+"""
+
+from __future__ import annotations
+
+import functools
+import pathlib
+import platform
+import subprocess
+from datetime import datetime, timezone
+
+__all__ = ["git_sha", "provenance"]
+
+
+@functools.lru_cache(maxsize=1)
+def git_sha() -> str:
+    """HEAD commit of the repo holding this source tree, or ``unknown``."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+@functools.lru_cache(maxsize=1)
+def _git_dirty() -> bool:
+    """Whether the working tree differs from HEAD (stamps are suffixed)."""
+    try:
+        proc = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=pathlib.Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return False
+    return proc.returncode == 0 and bool(proc.stdout.strip())
+
+
+def provenance(calibration=None) -> dict:
+    """The stamp attached to every results artifact.
+
+    ``calibration`` defaults to the module default; pass the run's own
+    :class:`~repro.cpusim.calibration.Calibration` when it was
+    overridden.
+    """
+    import numpy
+
+    from repro.cpusim.calibration import DEFAULT_CALIBRATION
+
+    calibration = calibration or DEFAULT_CALIBRATION
+    sha = git_sha()
+    if sha != "unknown" and _git_dirty():
+        sha += "-dirty"
+    return {
+        "git_sha": sha,
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "calibration_fingerprint": calibration.fingerprint(),
+    }

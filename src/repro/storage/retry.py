@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, TypeVar
 
 from repro.errors import TransientIOError
+from repro.obs import metrics as obs_metrics
 
 T = TypeVar("T")
 
@@ -75,6 +76,10 @@ def retry_io(operation: Callable[[], T], policy: RetryPolicy | None = None) -> T
             return operation()
         except TransientIOError:
             if retry_index == policy.max_attempts - 1:
+                obs_metrics.RETRY_EXHAUSTED.inc()
                 raise
-            policy.sleep(policy.delay_for(retry_index))
+            obs_metrics.RETRY_ATTEMPTS.inc()
+            delay = policy.delay_for(retry_index)
+            obs_metrics.RETRY_BACKOFF_SECONDS.inc(delay)
+            policy.sleep(delay)
     raise AssertionError("unreachable")  # pragma: no cover

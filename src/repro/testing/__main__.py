@@ -52,6 +52,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-metamorphic", action="store_true", help="oracle diffs only"
     )
+    parser.add_argument(
+        "--failures-json",
+        metavar="PATH",
+        default=None,
+        help="write failing seeds (with repro commands and minimized cases) "
+        "as JSON; written even when empty, so CI can always upload it",
+    )
     args = parser.parse_args(argv)
 
     if args.seed is not None:
@@ -77,6 +84,34 @@ def main(argv: list[str] | None = None) -> int:
         progress=progress,
     )
     print(report.format())
+    if args.failures_json is not None:
+        import json
+        import pathlib
+
+        path = pathlib.Path(args.failures_json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(
+                {
+                    "cases": args.cases,
+                    "start_seed": args.start_seed,
+                    "ok": report.ok,
+                    "failures": [
+                        {
+                            "seed": seed,
+                            "message": message,
+                            "minimized": minimized,
+                            "repro": f"python -m repro.testing --seed {seed}",
+                        }
+                        for seed, message, minimized in report.failures
+                    ],
+                },
+                indent=2,
+                default=str,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
     return 0 if report.ok else 1
 
 

@@ -1,0 +1,266 @@
+"""Metrics registry, Prometheus exposition, and run provenance."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import re
+
+import pytest
+
+from repro.cpusim.calibration import Calibration
+from repro.data.tpch import generate_orders
+from repro.engine.predicate import predicate_for_selectivity
+from repro.engine.query import ScanQuery
+from repro.engine.executor import run_scan
+from repro.errors import TransientIOError
+from repro.obs import metrics
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    exponential_buckets,
+)
+from repro.obs.provenance import git_sha, provenance
+from repro.storage.layout import Layout
+from repro.storage.loader import load_table
+from repro.storage.retry import RetryPolicy, retry_io
+
+
+@pytest.fixture(autouse=True)
+def metrics_enabled():
+    """Each test starts enabled with zeroed values, and leaves no residue."""
+    metrics.enable()
+    metrics.REGISTRY.reset_values()
+    yield
+    metrics.enable()
+    metrics.REGISTRY.reset_values()
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        counter = Counter("t_total", "help")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("t_total", "help").inc(-1)
+
+    def test_invalid_names_rejected(self):
+        for bad in ("", "9lives", "has-dash", "has space"):
+            with pytest.raises(ValueError):
+                Counter(bad, "help")
+
+
+class TestHistogram:
+    def test_le_bucket_semantics(self):
+        hist = Histogram("t_seconds", "help", buckets=[1.0, 10.0])
+        hist.observe(0.5)    # le=1
+        hist.observe(1.0)    # boundary: still le=1
+        hist.observe(5.0)    # le=10
+        hist.observe(100.0)  # +Inf overflow
+        assert hist.bucket_counts() == [(1.0, 2), (10.0, 3), (float("inf"), 4)]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(106.5)
+
+    def test_render_is_cumulative_and_inf_terminated(self):
+        hist = Histogram("t_seconds", "help", buckets=[1.0, 10.0])
+        hist.observe(0.5)
+        lines = hist.render()
+        assert 't_seconds_bucket{le="1"} 1' in lines
+        assert 't_seconds_bucket{le="10"} 1' in lines
+        assert 't_seconds_bucket{le="+Inf"} 1' in lines
+        assert "t_seconds_count 1" in lines
+
+    def test_exponential_buckets(self):
+        assert exponential_buckets(1.0, 2.0, 4) == [1.0, 2.0, 4.0, 8.0]
+        with pytest.raises(ValueError):
+            exponential_buckets(0.0, 2.0, 4)
+        with pytest.raises(ValueError):
+            exponential_buckets(1.0, 1.0, 4)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", "help")
+        assert registry.counter("x_total", "other help") is a
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "help")
+        with pytest.raises(ValueError):
+            registry.histogram("x_total", "help")
+
+    def test_exposition_format_is_valid(self):
+        """Every non-comment line must parse as `name{labels}? value`."""
+        metrics.QUERIES.inc(3)
+        metrics.QUERY_SECONDS.observe(0.25)
+        text = metrics.render_prometheus()
+        assert text.endswith("\n")
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le=\"[^\"]+\"\})? "
+            r"(-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|NaN)$"
+        )
+        seen_types = {}
+        for line in text.rstrip("\n").split("\n"):
+            if line.startswith("# HELP "):
+                continue
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split(" ", 3)
+                assert kind in ("counter", "histogram")
+                seen_types[name] = kind
+            else:
+                assert sample.match(line), f"bad exposition line: {line!r}"
+        assert seen_types["repro_queries_total"] == "counter"
+        assert seen_types["repro_query_seconds"] == "histogram"
+        assert "repro_queries_total 3" in text
+
+    def test_standard_metrics_present_before_any_query(self):
+        text = metrics.render_prometheus()
+        for name in (
+            "repro_queries_total",
+            "repro_query_seconds",
+            "repro_page_decode_seconds",
+            "repro_pages_salvaged_total",
+            "repro_io_retry_attempts_total",
+            "repro_iosim_units_total",
+        ):
+            assert name in text
+
+
+class TestEnableDisable:
+    def test_disabled_mutations_are_dropped(self):
+        metrics.disable()
+        assert not metrics.enabled()
+        metrics.QUERIES.inc()
+        metrics.QUERY_SECONDS.observe(1.0)
+        metrics.enable()
+        assert metrics.QUERIES.value == 0
+        assert metrics.QUERY_SECONDS.count == 0
+
+    def test_query_path_records_only_when_enabled(self):
+        data = generate_orders(400, seed=3)
+        table = load_table(data, Layout.COLUMN)
+        query = ScanQuery("ORDERS", select=("O_ORDERKEY",))
+
+        metrics.disable()
+        run_scan(table, query)
+        metrics.enable()
+        assert metrics.QUERIES.value == 0
+
+        run_scan(table, query)
+        assert metrics.QUERIES.value == 1
+        assert metrics.QUERY_SECONDS.count == 1
+        assert metrics.PAGE_DECODE_SECONDS.count > 0
+
+
+class TestRetryMetrics:
+    def test_transient_retries_are_counted(self):
+        failures = [TransientIOError("flaky"), TransientIOError("flaky")]
+
+        def flaky():
+            if failures:
+                raise failures.pop()
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=4, sleep=lambda _s: None, seed=1)
+        assert retry_io(flaky, policy) == "ok"
+        assert metrics.RETRY_ATTEMPTS.value == 2
+        assert metrics.RETRY_BACKOFF_SECONDS.value > 0
+        assert metrics.RETRY_EXHAUSTED.value == 0
+
+    def test_exhausted_retries_are_counted(self):
+        def always_fails():
+            raise TransientIOError("dead")
+
+        policy = RetryPolicy(max_attempts=3, sleep=lambda _s: None, seed=1)
+        with pytest.raises(TransientIOError):
+            retry_io(always_fails, policy)
+        assert metrics.RETRY_ATTEMPTS.value == 2
+        assert metrics.RETRY_EXHAUSTED.value == 1
+
+
+class TestExpositionCli:
+    def test_main_prints_live_exposition(self, capsys):
+        assert metrics.main(["--rows", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_queries_total counter" in out
+        match = re.search(r"^repro_queries_total (\d+)$", out, re.MULTILINE)
+        assert match and int(match.group(1)) >= 2  # demo runs two queries
+
+    def test_main_rows_zero_skips_workload(self, capsys):
+        assert metrics.main(["--rows", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_queries_total 0" in out
+
+
+class TestProvenance:
+    def test_stamp_has_the_comparability_keys(self):
+        stamp = provenance()
+        for key in (
+            "git_sha",
+            "timestamp_utc",
+            "python",
+            "numpy",
+            "platform",
+            "calibration_fingerprint",
+        ):
+            assert stamp[key], key
+        assert re.match(r"^[0-9a-f]{12}$", stamp["calibration_fingerprint"])
+
+    def test_git_sha_resolves_in_this_repo(self):
+        sha = git_sha()
+        assert sha == "unknown" or re.match(r"^[0-9a-f]{40}$", sha)
+
+    def test_fingerprint_is_stable_and_sensitive(self):
+        base = Calibration()
+        assert base.fingerprint() == Calibration().fingerprint()
+        tweaked = base.with_overrides(num_disks=base.num_disks + 1)
+        assert tweaked.fingerprint() != base.fingerprint()
+
+    def test_stamp_uses_the_given_calibration(self):
+        tweaked = Calibration().with_overrides(num_disks=7)
+        assert (
+            provenance(tweaked)["calibration_fingerprint"]
+            == tweaked.fingerprint()
+        )
+
+
+class TestBenchmarkPublishing:
+    def test_publish_writes_provenance_stamped_json(self, tmp_path, capsys):
+        spec = importlib.util.spec_from_file_location(
+            "bench_common",
+            pathlib.Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "_common.py",
+        )
+        common = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(common)
+        common.RESULTS_DIR = tmp_path
+
+        from repro.experiments.report import ExperimentOutput, FigureResult
+
+        output = ExperimentOutput(
+            name="Demo figure",
+            tables=[
+                FigureResult(
+                    title="t", headers=["a", "b"], rows=[["x", 1], ["y", 2]]
+                )
+            ],
+            series={"speedup": [1.0, 2.0]},
+        )
+        common.publish(output, "demo.txt")
+        capsys.readouterr()
+
+        assert (tmp_path / "demo.txt").exists()
+        payload = json.loads((tmp_path / "demo.json").read_text())
+        assert payload["name"] == "Demo figure"
+        assert payload["tables"][0]["rows"] == [["x", 1], ["y", 2]]
+        assert payload["series"]["speedup"] == [1.0, 2.0]
+        # provenance() may append "-dirty" to the commit of record
+        assert payload["provenance"]["git_sha"].startswith(git_sha())
+        assert payload["provenance"]["calibration_fingerprint"]
