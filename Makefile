@@ -2,7 +2,7 @@
 # PEP 660 editable builds; in offline environments without it, the
 # legacy `setup.py develop` path below installs identically.
 
-.PHONY: install test bench fuzz scrub experiments experiments-md metrics overhead-gate all
+.PHONY: install test bench fuzz scrub experiments experiments-md metrics overhead-gate parallel-bench all
 
 install:
 	pip install -e . 2>/dev/null || python setup.py develop
@@ -37,5 +37,10 @@ metrics:
 # CI gate: the tracing no-op path must stay within 5% of the raw engine.
 overhead-gate:
 	python benchmarks/check_tracing_overhead.py --out obs-artifacts
+
+# Parallel-scan speedup artifact: serial vs 2/4 workers on the fig06
+# baseline workload, plus a hard byte-identity gate against serial.
+parallel-bench:
+	python benchmarks/bench_parallel_scan.py --out parallel-artifacts
 
 all: install test bench

@@ -132,6 +132,8 @@ class Database:
         use_views: bool = True,
         context: ExecutionContext | None = None,
         salvage: bool = False,
+        workers: int = 1,
+        partitions: int | None = None,
     ) -> QueryResult:
         """Execute a scan, optionally routed to a covering view.
 
@@ -139,6 +141,12 @@ class Database:
         :class:`~repro.errors.ChecksumError`.  With ``salvage=True`` the
         scan skips corrupt pages and reports them through
         ``QueryResult.corruption`` instead.
+
+        ``workers > 1`` fans the scan out over row-range partitions
+        (``partitions``, default one per worker) in a multiprocessing
+        pool — see :func:`repro.engine.parallel.parallel_query`.  Plans
+        the parallel executor cannot decompose fall back to the serial
+        engine transparently.
         """
         entry = self._entry(table)
         scan = ScanQuery(table, select=select, predicates=predicates)
@@ -149,6 +157,21 @@ class Database:
             target, _source = entry.router.route(scan)
         else:
             target = entry.tables[self.layouts[0]]
+        if workers > 1:
+            from repro.engine.parallel import parallel_query
+
+            try:
+                return parallel_query(
+                    target,
+                    scan,
+                    workers=workers,
+                    partitions=partitions,
+                    context=context,
+                    salvage=salvage,
+                )
+            except PlanError:
+                # Not decomposable: run the plain serial scan instead.
+                pass
         return run_scan(target, scan, context, salvage=salvage)
 
     # --- observability -------------------------------------------------------
@@ -161,6 +184,8 @@ class Database:
         layout: Layout | None = None,
         use_views: bool = True,
         salvage: bool = False,
+        workers: int = 1,
+        partitions: int | None = None,
     ) -> QueryProfile:
         """Execute a scan under span tracing.
 
@@ -169,6 +194,9 @@ class Database:
         the EXPLAIN ANALYZE text (``.explain_text()``), a Chrome/
         Perfetto trace (``.chrome_trace()``/``.save_chrome_trace()``),
         and a provenance-stamped flat profile (``.to_dict()``) derive.
+
+        With ``workers > 1`` worker-process span trees are stitched
+        into the parent trace (one Perfetto track per worker).
         """
         context = ExecutionContext(tracer=SpanTracer())
         result = self.query(
@@ -179,6 +207,8 @@ class Database:
             use_views=use_views,
             context=context,
             salvage=salvage,
+            workers=workers,
+            partitions=partitions,
         )
         return QueryProfile(
             result=result,
@@ -194,6 +224,8 @@ class Database:
         layout: Layout | None = None,
         use_views: bool = True,
         salvage: bool = False,
+        workers: int = 1,
+        partitions: int | None = None,
     ) -> str:
         """EXPLAIN ANALYZE: execute the scan traced, render the plan.
 
@@ -208,6 +240,8 @@ class Database:
             layout=layout,
             use_views=use_views,
             salvage=salvage,
+            workers=workers,
+            partitions=partitions,
         ).explain_text()
 
     def predicate(self, table: str, attr: str, selectivity: float) -> Predicate:

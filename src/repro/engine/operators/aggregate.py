@@ -103,9 +103,7 @@ class _AggregateBase(Operator):
         return split_into_blocks(block, self.context.block_size)
 
     def _output_name(self) -> str:
-        if self.spec.function is AggregateFunction.COUNT:
-            return "count"
-        return f"{self.spec.function.value}_{self.spec.argument}"
+        return self.spec.output_name()
 
 
 class HashAggregate(_AggregateBase):

@@ -33,6 +33,7 @@ from repro.cpusim.cache import classify_page_access, page_lines
 from repro.engine.blocks import Block, split_into_blocks
 from repro.engine.context import ExecutionContext
 from repro.engine.operators.base import Operator
+from repro.engine.operators.scan_row import normalize_row_range
 from repro.engine.predicate import Predicate
 from repro.errors import PlanError
 from repro.storage.table import ColumnFile, ColumnTable
@@ -61,6 +62,7 @@ class ColumnScanner(Operator):
         table: ColumnTable,
         select: tuple[str, ...],
         predicates: tuple[Predicate, ...] = (),
+        row_range: tuple[int, int] | None = None,
     ):
         super().__init__(context)
         if not select:
@@ -68,6 +70,7 @@ class ColumnScanner(Operator):
         self.table = table
         self.select = tuple(select)
         self.predicates = tuple(predicates)
+        self.row_range = normalize_row_range(row_range, table.num_rows)
         self._nodes = self._build_nodes()
         self._ready: deque[Block] = deque()
         self._done = False
@@ -108,6 +111,9 @@ class ColumnScanner(Operator):
         detail = f"{self.table.schema.name}: {', '.join(self.select)}"
         if self.predicates:
             detail += f" | {len(self.predicates)} predicate(s)"
+        lo, hi = self.row_range
+        if (lo, hi) != (0, self.table.num_rows):
+            detail += f" | rows [{lo}, {hi})"
         return f"{detail} | {len(self._nodes)} scan node(s)"
 
     def _open(self) -> None:
@@ -147,12 +153,19 @@ class ColumnScanner(Operator):
         codec = page_codec.codec
         bits = codec.bits_per_value
         code_predicates = self._code_predicates(node, codec)
+        lo, hi = self.row_range
         qualified_positions = []
         qualified_values = []
         row_base = 0
         file = node.column_file.file
         for page_index in range(file.num_pages):
             span = node.column_file.row_span_of_page(page_index, self.table.num_rows)
+            if row_base >= hi:
+                break
+            if row_base + span <= lo:
+                # Page entirely before the row window: skip without I/O.
+                row_base += span
+                continue
 
             def decode(page_index=page_index):
                 _pid, count, payload, state = page_codec.decode_raw(
@@ -171,12 +184,23 @@ class ColumnScanner(Operator):
                 continue
             count, data = decoded
 
+            # Restrict to the scanner's row window: the page is decoded
+            # (and charged) whole, but out-of-window values are never
+            # compared or copied.
+            start = max(0, lo - row_base)
+            stop = max(start, min(count, hi - row_base))
+            in_range = stop - start
+
             events.pages_touched += 1
             events.values_examined += count
             events.mem_seq_lines += page_lines(count, bits, calibration.l2_line_bytes)
             events.l1_lines += page_lines(count, bits, calibration.l1_line_bytes)
 
-            mask = np.ones(count, dtype=bool)
+            if in_range == count:
+                mask = np.ones(count, dtype=bool)
+            else:
+                mask = np.zeros(count, dtype=bool)
+                mask[start:stop] = True
             if code_predicates is not None:
                 # Compressed execution: compare the packed codes; the
                 # only work per value is the bit extraction, and the
@@ -185,7 +209,7 @@ class ColumnScanner(Operator):
                 events.count_decode(CodecKind.PACK, count)
                 code_bytes = max(1, codec.bits_per_value // 8)
                 for index, code_predicate in enumerate(code_predicates):
-                    candidates = count if index == 0 else int(np.count_nonzero(mask))
+                    candidates = in_range if index == 0 else int(np.count_nonzero(mask))
                     events.predicate_evals += candidates
                     events.predicate_eval_bytes += candidates * code_bytes
                     mask &= code_predicate.evaluate(codes)
@@ -200,7 +224,7 @@ class ColumnScanner(Operator):
                 values = data
                 events.count_decode(spec.kind, count)
                 for index, predicate in enumerate(node.predicates):
-                    candidates = count if index == 0 else int(np.count_nonzero(mask))
+                    candidates = in_range if index == 0 else int(np.count_nonzero(mask))
                     events.predicate_evals += candidates
                     events.predicate_eval_bytes += candidates * node.width
                     mask &= predicate.evaluate(values)

@@ -24,6 +24,7 @@ from repro.cpusim.cache import page_lines
 from repro.engine.blocks import Block, split_into_blocks
 from repro.engine.context import ExecutionContext
 from repro.engine.operators.base import Operator
+from repro.engine.operators.scan_row import normalize_row_range
 from repro.engine.predicate import Predicate
 from repro.errors import PlanError
 from repro.storage.table import ColumnTable
@@ -38,6 +39,7 @@ class FusedColumnScanner(Operator):
         table: ColumnTable,
         select: tuple[str, ...],
         predicates: tuple[Predicate, ...] = (),
+        row_range: tuple[int, int] | None = None,
     ):
         super().__init__(context)
         if not select:
@@ -45,6 +47,7 @@ class FusedColumnScanner(Operator):
         self.table = table
         self.select = tuple(select)
         self.predicates = tuple(predicates)
+        self.row_range = normalize_row_range(row_range, table.num_rows)
         self._attrs = self._scan_attrs()
         self._ready: deque[Block] = deque()
         self._done = False
@@ -70,6 +73,9 @@ class FusedColumnScanner(Operator):
         detail = f"{self.table.schema.name}: {', '.join(self.select)}"
         if self.predicates:
             detail += f" | {len(self.predicates)} predicate(s)"
+        lo, hi = self.row_range
+        if (lo, hi) != (0, self.table.num_rows):
+            detail += f" | rows [{lo}, {hi})"
         return detail
 
     def _open(self) -> None:
@@ -88,9 +94,12 @@ class FusedColumnScanner(Operator):
         events = self.events
         calibration = self.context.calibration
         num_rows = self.table.num_rows
-        # Rows whose every accessed page decoded; salvage mode clears
-        # the spans of skipped pages so the dense columns stay aligned.
-        intact = np.ones(num_rows, dtype=bool)
+        lo, hi = self.row_range
+        window = hi - lo
+        # Rows (within the scan window) whose every accessed page
+        # decoded; salvage mode clears the spans of skipped pages so the
+        # dense columns stay aligned.
+        intact = np.ones(window, dtype=bool)
         columns: dict[str, np.ndarray] = {}
         for name in self._attrs:
             column_file = self.table.column_file(name)
@@ -100,8 +109,14 @@ class FusedColumnScanner(Operator):
             bits = page_codec.codec.bits_per_value
             chunks = []
             row_base = 0
-            for page_index in range(column_file.file.num_pages):
+            for page_index in range(column_file.file.num_pages if window else 0):
                 span = column_file.row_span_of_page(page_index, num_rows)
+                if row_base >= hi:
+                    break
+                if row_base + span <= lo:
+                    # Page entirely before the row window: skip, no I/O.
+                    row_base += span
+                    continue
 
                 def decode(page_index=page_index):
                     _pid, count, payload, state = page_codec.decode_raw(
@@ -115,12 +130,18 @@ class FusedColumnScanner(Operator):
                 if decoded is None:
                     # Placeholder keeps this column's offsets aligned
                     # with the others; the rows are masked out below.
-                    chunks.append(np.zeros(span, dtype=attr_dtype))
-                    intact[row_base : row_base + span] = False
+                    overlap_lo = max(row_base, lo)
+                    overlap_hi = min(row_base + span, hi)
+                    chunks.append(np.zeros(overlap_hi - overlap_lo, dtype=attr_dtype))
+                    intact[overlap_lo - lo : overlap_hi - lo] = False
                     row_base += span
                     continue
                 count, values = decoded
-                chunks.append(values)
+                # Pages are decoded (and charged) whole; only the slice
+                # overlapping the row window joins the dense columns.
+                start = max(0, lo - row_base)
+                stop = max(start, min(count, hi - row_base))
+                chunks.append(values[start:stop])
                 row_base += count
                 events.pages_touched += 1
                 events.count_decode(spec.kind, count)
@@ -128,16 +149,18 @@ class FusedColumnScanner(Operator):
                     count, bits, calibration.l2_line_bytes
                 )
                 events.l1_lines += page_lines(count, bits, calibration.l1_line_bytes)
-            if row_base < num_rows:
+            covered = min(row_base, hi)
+            if covered < hi:
                 # Truncated column file (salvage open): pad and mask.
-                chunks.append(np.zeros(num_rows - row_base, dtype=attr_dtype))
-                intact[row_base:] = False
+                pad_lo = max(covered, lo)
+                chunks.append(np.zeros(hi - pad_lo, dtype=attr_dtype))
+                intact[pad_lo - lo :] = False
             if chunks:
                 columns[name] = np.concatenate(chunks)
             else:
                 columns[name] = np.zeros(0, dtype=attr_dtype)
 
-        count = num_rows
+        count = window
         # Row-at-a-time iteration across the resident pages.
         events.tuples_examined += count
         mask = intact
@@ -158,6 +181,6 @@ class FusedColumnScanner(Operator):
 
         block = Block(
             columns={name: columns[name][mask] for name in self.select},
-            positions=np.flatnonzero(mask).astype(np.int64),
+            positions=(lo + np.flatnonzero(mask)).astype(np.int64),
         )
         self._ready.extend(split_into_blocks(block, self.context.block_size))

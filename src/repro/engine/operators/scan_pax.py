@@ -16,6 +16,7 @@ from repro.cpusim.cache import page_lines
 from repro.engine.blocks import Block, split_into_blocks
 from repro.engine.context import ExecutionContext
 from repro.engine.operators.base import Operator
+from repro.engine.operators.scan_row import normalize_row_range
 from repro.engine.predicate import Predicate
 from repro.errors import PlanError
 from repro.storage.table import PaxTable
@@ -30,6 +31,7 @@ class PaxScanner(Operator):
         table: PaxTable,
         select: tuple[str, ...],
         predicates: tuple[Predicate, ...] = (),
+        row_range: tuple[int, int] | None = None,
     ):
         super().__init__(context)
         if not select:
@@ -41,6 +43,7 @@ class PaxScanner(Operator):
             table.schema.attribute(predicate.attr)
         self.select = tuple(select)
         self.predicates = tuple(predicates)
+        self.row_range = normalize_row_range(row_range, table.num_rows)
         order = [p.attr for p in predicates]
         order += [name for name in select if name not in order]
         seen: set[str] = set()
@@ -58,6 +61,9 @@ class PaxScanner(Operator):
         detail = f"{self.table.schema.name}: {', '.join(self.select)}"
         if self.predicates:
             detail += f" | {len(self.predicates)} predicate(s)"
+        lo, hi = self.row_range
+        if (lo, hi) != (0, self.table.num_rows):
+            detail += f" | rows [{lo}, {hi})"
         return detail
 
     def _open(self) -> None:
@@ -67,14 +73,19 @@ class PaxScanner(Operator):
         self._emitted_any = False
 
     def _next(self) -> Block | None:
+        lo, hi = self.row_range
         while not self._ready:
-            if self._page_index >= self.table.file.num_pages:
+            if self._page_index >= self.table.file.num_pages or self._row_base >= hi:
                 if not self._emitted_any:
                     self._emitted_any = True
                     return self._empty_block()
                 return None
             index = self._page_index
             self._page_index += 1
+            if self._row_base + self.table.row_span_of_page(index) <= lo:
+                # Page entirely before the row window: skip without I/O.
+                self._row_base += self.table.row_span_of_page(index)
+                continue
             self._process_page(index)
         self._emitted_any = True
         return self._ready.popleft()
@@ -118,12 +129,23 @@ class PaxScanner(Operator):
             events.mem_seq_lines += page_lines(count, bits, calibration.l2_line_bytes)
             events.l1_lines += page_lines(count, bits, calibration.l1_line_bytes)
 
-        events.pages_touched += 1
-        events.tuples_examined += count
+        # Restrict to the scanner's row window: minipages are decoded
+        # (and charged) whole, but out-of-window tuples are not examined.
+        lo, hi = self.row_range
+        start = max(0, lo - self._row_base)
+        stop = max(start, min(count, hi - self._row_base))
+        in_range = stop - start
 
-        mask = np.ones(count, dtype=bool)
+        events.pages_touched += 1
+        events.tuples_examined += in_range
+
+        if in_range == count:
+            mask = np.ones(count, dtype=bool)
+        else:
+            mask = np.zeros(count, dtype=bool)
+            mask[start:stop] = True
         for index, predicate in enumerate(self.predicates):
-            candidates = count if index == 0 else int(np.count_nonzero(mask))
+            candidates = in_range if index == 0 else int(np.count_nonzero(mask))
             events.predicate_evals += candidates
             events.predicate_eval_bytes += (
                 candidates * self.table.schema.attribute(predicate.attr).width

@@ -25,6 +25,23 @@ from repro.storage.table import RowTable
 _WHOLE_PAGE_KINDS = (CodecKind.FOR_DELTA,)
 
 
+def normalize_row_range(
+    row_range: tuple[int, int] | None, num_rows: int
+) -> tuple[int, int]:
+    """Clamp a half-open ``[lo, hi)`` row window to the table.
+
+    ``None`` means the whole table.  The window is what horizontal
+    partitioning (``repro.storage.partition``) hands each parallel
+    worker; positions emitted under a window stay *global* Record IDs.
+    """
+    if row_range is None:
+        return (0, num_rows)
+    lo, hi = row_range
+    if lo < 0 or hi < lo:
+        raise PlanError(f"invalid row range: [{lo}, {hi})")
+    return (min(lo, num_rows), min(hi, num_rows))
+
+
 class RowScanner(Operator):
     """Scan a :class:`RowTable`, applying predicates and projecting."""
 
@@ -34,6 +51,7 @@ class RowScanner(Operator):
         table: RowTable,
         select: tuple[str, ...],
         predicates: tuple[Predicate, ...] = (),
+        row_range: tuple[int, int] | None = None,
     ):
         super().__init__(context)
         self.table = table
@@ -45,6 +63,7 @@ class RowScanner(Operator):
             raise PlanError("row scanner needs a non-empty select list")
         self.select = tuple(select)
         self.predicates = tuple(predicates)
+        self.row_range = normalize_row_range(row_range, table.num_rows)
         self._page_index = 0
         self._ready: deque[Block] = deque()
         self._row_base = 0
@@ -57,6 +76,9 @@ class RowScanner(Operator):
         detail = f"{self.table.schema.name}: {', '.join(self.select)}"
         if self.predicates:
             detail += f" | {len(self.predicates)} predicate(s)"
+        lo, hi = self.row_range
+        if (lo, hi) != (0, self.table.num_rows):
+            detail += f" | rows [{lo}, {hi})"
         return detail
 
     def _open(self) -> None:
@@ -66,8 +88,9 @@ class RowScanner(Operator):
         self._emitted_any = False
 
     def _next(self) -> Block | None:
+        lo, hi = self.row_range
         while not self._ready:
-            if self._page_index >= self.table.file.num_pages:
+            if self._page_index >= self.table.file.num_pages or self._row_base >= hi:
                 if not self._emitted_any:
                     # Emit one empty block so the output schema survives
                     # a scan with no qualifying tuples.
@@ -76,6 +99,11 @@ class RowScanner(Operator):
                 return None
             index = self._page_index
             self._page_index += 1
+            span = self.table.row_span_of_page(index)
+            if self._row_base + span <= lo:
+                # Page entirely before the row window: skip without I/O.
+                self._row_base += span
+                continue
             self._process_page(index)
         self._emitted_any = True
         return self._ready.popleft()
@@ -108,17 +136,28 @@ class RowScanner(Operator):
             return
         _page_id, count, columns = decoded
 
+        # Restrict to the scanner's row window: the page is decoded (and
+        # charged) whole, but tuples outside [lo, hi) are never examined.
+        lo, hi = self.row_range
+        start = max(0, lo - self._row_base)
+        stop = max(start, min(count, hi - self._row_base))
+        in_range = stop - start
+
         events.pages_touched += 1
-        events.tuples_examined += count
+        events.tuples_examined += in_range
         # The row store touches the whole page front to back: purely
         # sequential memory traffic.
         events.mem_seq_lines += self.table.page_size // calibration.l2_line_bytes
         events.l1_lines += self.table.page_size // calibration.l1_line_bytes
 
-        mask = np.ones(count, dtype=bool)
+        if in_range == count:
+            mask = np.ones(count, dtype=bool)
+        else:
+            mask = np.zeros(count, dtype=bool)
+            mask[start:stop] = True
         decoded_attrs: set[str] = set()
         for index, predicate in enumerate(self.predicates):
-            candidates = int(np.count_nonzero(mask)) if index else count
+            candidates = int(np.count_nonzero(mask)) if index else in_range
             events.predicate_evals += candidates
             events.predicate_eval_bytes += (
                 candidates * self.table.schema.attribute(predicate.attr).width

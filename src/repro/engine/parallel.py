@@ -1,0 +1,486 @@
+"""Multi-core parallel query execution over horizontal partitions.
+
+The engine stays single-threaded *per plan* (the paper's Section 4
+design); parallelism comes from running one plan per row-range
+partition in a ``multiprocessing`` worker pool and merging the
+materialized partials in the parent:
+
+* plain selections: concatenate worker blocks in partition order
+  (already global Record-ID order), fixing up positions of physically
+  partitioned shards by their ``row_start``;
+* aggregates: each worker computes decomposed partials
+  (count/sum/min/max, sum+count for AVG — see
+  :func:`repro.engine.plan.decompose_aggregate`) and
+  :class:`~repro.engine.operators.gather.MergePartials` reduces them
+  with the serial ``HashAggregate``'s arithmetic;
+* sorted output: per-partition sorted runs, k-way merged by
+  :class:`~repro.engine.operators.gather.MergeSortedRuns`;
+* LIMIT / top-N: each worker keeps its first/best ``k``, the parent
+  applies the same operator over the recombined candidates (for top-N,
+  candidates are re-ordered by global position first so tie-breaking
+  matches the serial stable sort).
+
+Cost accounting is exactly-once: each worker runs under a fresh
+:class:`~repro.engine.context.ExecutionContext` and its
+:class:`~repro.cpusim.events.CostEvents` /
+:class:`~repro.storage.scrub.CorruptionReport` are merged into the
+parent context one time, before the (traced) merge plan runs.
+Boundary pages decoded by two adjacent workers are deduplicated by
+``(file, page)`` so a salvage scan's fault list matches the serial
+scan's.  Worker span trees are stitched into the parent trace under
+the gather node (per-worker Perfetto tracks); the tracer invariant
+``total_events() == plan total`` survives stitching.
+
+Failure policy: if the pool errors, times out, or a worker crashes,
+all worker results are discarded and the whole query re-runs
+in-process over the same partitions — the parent context never
+double-counts, and a crash degrades to a serial retry instead of
+hanging the pool.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import multiprocessing.pool
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.cpusim.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.cpusim.events import CostEvents
+from repro.engine.blocks import Block, concat_blocks
+from repro.engine.context import ExecutionContext
+from repro.engine.executor import QueryResult, execute_plan
+from repro.engine.operators.base import Operator
+from repro.engine.operators.gather import (
+    GatherOperator,
+    MergePartials,
+    MergeSortedRuns,
+)
+from repro.engine.operators.limit import Limit, TopN
+from repro.engine.operators.sort import SortOperator
+from repro.engine.plan import (
+    ColumnScannerKind,
+    aggregate_plan,
+    decompose_aggregate,
+    scan_plan,
+)
+from repro.engine.query import AggregateSpec, ScanQuery
+from repro.errors import PlanError
+from repro.obs.trace import SpanTracer
+from repro.storage.partition import PartitionedTable, partition_ranges
+from repro.storage.scrub import CorruptionReport
+from repro.storage.table import Table
+
+__all__ = [
+    "WorkerCrash",
+    "parallel_query",
+    "shutdown_pools",
+]
+
+#: Seconds a pool map may take before the query falls back to in-process.
+_WORKER_TIMEOUT = 120.0
+
+#: Logical-partition queries over tables at least this large share the
+#: table with fork-inherited memory instead of pickling it per task.
+_FORK_SHARE_ROWS = 100_000
+
+
+class WorkerCrash(RuntimeError):
+    """Injected worker failure (test hook for the degradation path)."""
+
+
+@dataclass(frozen=True)
+class WorkerTask:
+    """Everything one worker needs to run its partition's plan."""
+
+    index: int
+    table: Table | None          #: ``None``: use the fork-inherited table
+    query: ScanQuery
+    row_range: tuple[int, int] | None
+    position_offset: int
+    column_scanner: ColumnScannerKind
+    calibration: Calibration
+    block_size: int
+    compressed_execution: bool
+    strict_integrity: bool
+    trace: bool
+    aggregate: AggregateSpec | None = None
+    sort_based: bool = False
+    order_by: tuple[str, ...] = ()
+    limit: int | None = None
+    topn: tuple[str, int, bool] | None = None
+    crash: bool = False          #: test hook: raise instead of executing
+
+
+@dataclass
+class WorkerOutput:
+    """One worker's materialized partial result plus its accounting."""
+
+    index: int
+    columns: dict[str, np.ndarray]
+    positions: np.ndarray
+    events: CostEvents
+    corruption: CorruptionReport
+    span_roots: list = field(default_factory=list)
+    slices: list = field(default_factory=list)
+    epoch_ns: int = 0
+
+
+#: Fork-share slot: set in the parent right before forking a dedicated
+#: pool, inherited by the children, consulted when ``task.table is None``.
+_FORK_TABLE: Table | None = None
+
+
+def _execute_task(task: WorkerTask) -> WorkerOutput:
+    """Run one partition's plan (in a worker process or inline)."""
+    if task.crash:
+        raise WorkerCrash(f"injected crash in worker {task.index}")
+    table = task.table if task.table is not None else _FORK_TABLE
+    if table is None:
+        raise PlanError("worker has neither a pickled nor a fork-shared table")
+    tracer = SpanTracer() if task.trace else None
+    context = ExecutionContext(
+        calibration=task.calibration,
+        block_size=task.block_size,
+        compressed_execution=task.compressed_execution,
+        strict_integrity=task.strict_integrity,
+        tracer=tracer,
+    )
+    if task.aggregate is not None:
+        partial_results = [
+            execute_plan(
+                aggregate_plan(
+                    context,
+                    table,
+                    task.query,
+                    partial_spec,
+                    sort_based=task.sort_based,
+                    column_scanner=task.column_scanner,
+                    row_range=task.row_range,
+                )
+            )
+            for partial_spec in decompose_aggregate(task.aggregate)
+        ]
+        columns = dict(partial_results[0].columns)
+        for extra in partial_results[1:]:
+            for name, values in extra.columns.items():
+                columns.setdefault(name, values)
+        positions = partial_results[0].positions
+    else:
+        plan: Operator = scan_plan(
+            context, table, task.query, task.column_scanner, row_range=task.row_range
+        )
+        for key in reversed(task.order_by):
+            plan = SortOperator(context, plan, key=key)
+        if task.topn is not None:
+            key, count, descending = task.topn
+            plan = TopN(context, plan, key=key, count=count, descending=descending)
+        elif task.limit is not None:
+            plan = Limit(context, plan, task.limit)
+        result = execute_plan(plan)
+        columns = result.columns
+        positions = result.positions
+        if task.position_offset:
+            positions = positions + task.position_offset
+    return WorkerOutput(
+        index=task.index,
+        columns=columns,
+        positions=positions,
+        events=context.events,
+        corruption=context.corruption,
+        span_roots=tracer.roots if tracer else [],
+        slices=tracer.slices if tracer else [],
+        epoch_ns=tracer.epoch_ns if tracer else 0,
+    )
+
+
+# --- worker pools ----------------------------------------------------------------
+
+
+_POOLS: dict[int, multiprocessing.pool.Pool] = {}
+
+
+def _mp_context():
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _cached_pool(workers: int) -> multiprocessing.pool.Pool:
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = _mp_context().Pool(processes=workers)
+        _POOLS[workers] = pool
+    return pool
+
+
+def _evict_pool(workers: int) -> None:
+    pool = _POOLS.pop(workers, None)
+    if pool is not None:
+        pool.terminate()
+        pool.join()
+
+
+def shutdown_pools() -> None:
+    """Terminate every cached worker pool (atexit / test teardown)."""
+    for workers in list(_POOLS):
+        _evict_pool(workers)
+
+
+atexit.register(shutdown_pools)
+
+
+def _run_in_pool(
+    tasks: list[WorkerTask],
+    workers: int,
+    fork_table: Table | None,
+    timeout: float,
+) -> list[WorkerOutput]:
+    if fork_table is not None:
+        # Dedicated pool forked with the table already in memory: the
+        # children inherit it copy-on-write instead of unpickling it.
+        global _FORK_TABLE
+        _FORK_TABLE = fork_table
+        try:
+            with _mp_context().Pool(processes=workers) as pool:
+                return pool.map_async(_execute_task, tasks, chunksize=1).get(timeout)
+        finally:
+            _FORK_TABLE = None
+    pool = _cached_pool(workers)
+    try:
+        return pool.map_async(_execute_task, tasks, chunksize=1).get(timeout)
+    except multiprocessing.TimeoutError:
+        # The pool may be wedged; replace it wholesale.
+        _evict_pool(workers)
+        raise
+
+
+# --- merging ---------------------------------------------------------------------
+
+
+def _merge_accounting(context: ExecutionContext, outputs: list[WorkerOutput]) -> None:
+    """Fold worker events and corruption into the parent, exactly once.
+
+    Adjacent workers both decode the pages straddling their boundary,
+    so a corrupt boundary page would be reported twice; deduplicating
+    by ``(file, page)`` keeps the merged fault list identical to a
+    serial salvage scan's.
+    """
+    seen = {(fault.file, fault.page) for fault in context.corruption.faults}
+    for out in outputs:
+        context.events.merge(out.events)
+        context.corruption.pages_scanned += out.corruption.pages_scanned
+        for fault in out.corruption.faults:
+            key = (fault.file, fault.page)
+            if key in seen:
+                continue
+            seen.add(key)
+            context.corruption.faults.append(fault)
+
+
+def _merge_plan(
+    context: ExecutionContext,
+    outputs: list[WorkerOutput],
+    aggregate: AggregateSpec | None,
+    order_by: tuple[str, ...],
+    limit: int | None,
+    topn: tuple[str, int, bool] | None,
+) -> tuple[Operator, Operator]:
+    """The parent-side merge plan; returns ``(plan root, gather anchor)``.
+
+    The anchor is the node worker span trees are attached under.
+    """
+    blocks = [
+        Block(columns=out.columns, positions=out.positions) for out in outputs
+    ]
+    detail = f"{len(blocks)} partition output(s)"
+    if aggregate is not None:
+        gather = GatherOperator(context, blocks, detail=detail)
+        return MergePartials(context, gather, aggregate), gather
+    if order_by:
+        merge: Operator = MergeSortedRuns(context, blocks, order_by, detail=detail)
+        anchor = merge
+        if limit is not None:
+            merge = Limit(context, merge, limit)
+        return merge, anchor
+    if topn is not None:
+        key, count, descending = topn
+        merged = concat_blocks([block for block in blocks if len(block)] or blocks)
+        # Candidates arrive in per-worker key order; re-ordering by
+        # global position makes the parent's stable tie-breaking see
+        # the same input order the serial TopN did.
+        order = np.argsort(merged.positions)
+        candidates = Block(
+            columns={name: col[order] for name, col in merged.columns.items()},
+            positions=merged.positions[order],
+        )
+        gather = GatherOperator(context, [candidates], detail=detail)
+        return TopN(context, gather, key=key, count=count, descending=descending), gather
+    gather = GatherOperator(context, blocks, detail=detail)
+    if limit is not None:
+        return Limit(context, gather, limit), gather
+    return gather, gather
+
+
+# --- public API ------------------------------------------------------------------
+
+
+def parallel_query(
+    table: Table | PartitionedTable,
+    query: ScanQuery,
+    *,
+    workers: int = 2,
+    partitions: int | None = None,
+    context: ExecutionContext | None = None,
+    column_scanner: ColumnScannerKind = ColumnScannerKind.PIPELINED,
+    salvage: bool = False,
+    aggregate: AggregateSpec | None = None,
+    sort_based: bool = False,
+    order_by: tuple[str, ...] = (),
+    limit: int | None = None,
+    topn: tuple[str, int, bool] | None = None,
+    share: str = "auto",
+    inject_crash: int | None = None,
+    info: dict | None = None,
+) -> QueryResult:
+    """Execute one decomposable query across row-range partitions.
+
+    ``table`` may be a plain table (split logically into ``partitions``
+    contiguous row ranges, default one per worker) or a
+    :class:`~repro.storage.partition.PartitionedTable` (its physical
+    shards are used as-is).  ``workers <= 1`` runs the same
+    partition-and-merge machinery in-process, which keeps the merge
+    path — and its cost accounting — testable without a pool.
+
+    Exactly one result shape may be requested: a plain selection,
+    ``aggregate``, ``order_by`` (optionally with ``limit``), plain
+    ``limit``, or ``topn``.  Non-decomposable shapes raise
+    :class:`~repro.errors.PlanError`; callers (``Database.query``)
+    fall back to the serial engine instead.
+
+    ``share`` controls how workers see the table: ``"pickle"`` ships it
+    with each task, ``"fork"`` forks a dedicated pool that inherits it,
+    ``"auto"`` picks by table size.  ``info``, when given a dict, is
+    filled with execution diagnostics (``mode``, ``partitions``,
+    ``workers``, ``fallback_reason``).
+    """
+    if workers < 1:
+        raise PlanError(f"worker count must be positive: {workers}")
+    if share not in ("auto", "pickle", "fork"):
+        raise PlanError(f"unknown share mode: {share!r}")
+    shapes = sum(
+        [aggregate is not None, bool(order_by), topn is not None]
+    )
+    if shapes > 1:
+        raise PlanError(
+            "parallel query supports one result shape at a time "
+            "(aggregate | order_by | topn)"
+        )
+    if limit is not None and (aggregate is not None or topn is not None):
+        raise PlanError("parallel limit composes only with plain or sorted scans")
+
+    context = context or ExecutionContext()
+    if salvage:
+        context.strict_integrity = False
+    trace = context.tracer is not None
+
+    # Partition list: (table, row_range, position_offset) per task.
+    if isinstance(table, PartitionedTable):
+        shards = [
+            (partition.table, None, partition.row_start)
+            for partition in table.partitions
+        ]
+        schema_table: Table = table.partitions[0].table
+        fork_candidate = None
+    else:
+        count = partitions if partitions is not None else workers
+        shards = [
+            (table, (lo, hi), 0)
+            for lo, hi in partition_ranges(table.num_rows, count)
+        ]
+        schema_table = table
+        fork_candidate = table
+    query.validate_against(schema_table.schema)
+
+    tasks = [
+        WorkerTask(
+            index=index,
+            table=shard_table,
+            query=query,
+            row_range=row_range,
+            position_offset=offset,
+            column_scanner=column_scanner,
+            calibration=context.calibration,
+            block_size=context.block_size,
+            compressed_execution=context.compressed_execution,
+            strict_integrity=context.strict_integrity,
+            trace=trace,
+            aggregate=aggregate,
+            sort_based=sort_based,
+            order_by=order_by,
+            limit=limit,
+            topn=topn,
+        )
+        for index, (shard_table, row_range, offset) in enumerate(shards)
+    ]
+
+    mode = "inline"
+    fallback_reason = None
+    if workers > 1 and len(tasks) > 1:
+        use_fork = share == "fork" or (
+            share == "auto"
+            and fork_candidate is not None
+            and fork_candidate.num_rows >= _FORK_SHARE_ROWS
+            and "fork" in multiprocessing.get_all_start_methods()
+        )
+        dispatch = tasks
+        if inject_crash is not None:
+            dispatch = [
+                replace(task, crash=task.index == inject_crash) for task in tasks
+            ]
+        if use_fork:
+            dispatch = [replace(task, table=None) for task in dispatch]
+        try:
+            outputs = _run_in_pool(
+                dispatch,
+                min(workers, len(tasks)),
+                fork_candidate if use_fork else None,
+                _WORKER_TIMEOUT,
+            )
+            mode = "parallel"
+        except (WorkerCrash, multiprocessing.TimeoutError, OSError) as exc:
+            # Degrade to an in-process retry over the same partitions.
+            # No worker result has been merged yet, so the parent
+            # context stays exactly-once.
+            fallback_reason = f"{type(exc).__name__}: {exc}"
+            outputs = [_execute_task(task) for task in tasks]
+            mode = "fallback-serial"
+    else:
+        outputs = [_execute_task(task) for task in tasks]
+
+    outputs.sort(key=lambda out: out.index)
+    _merge_accounting(context, outputs)
+
+    plan, anchor = _merge_plan(context, outputs, aggregate, order_by, limit, topn)
+    result = execute_plan(plan)
+
+    if trace:
+        tracer = context.tracer
+        anchor_span = tracer.span_for(anchor)
+        for out in outputs:
+            tracer.attach_subtree(
+                out.span_roots,
+                out.slices,
+                track=out.index + 1,
+                under=anchor_span,
+                epoch_ns=out.epoch_ns or None,
+            )
+
+    if info is not None:
+        info["mode"] = mode
+        info["workers"] = workers
+        info["partitions"] = len(tasks)
+        info["fallback_reason"] = fallback_reason
+    return result

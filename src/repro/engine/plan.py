@@ -19,7 +19,7 @@ from repro.engine.operators.scan_fused import FusedColumnScanner
 from repro.engine.operators.scan_pax import PaxScanner
 from repro.engine.operators.scan_row import RowScanner
 from repro.engine.operators.sort import SortOperator
-from repro.engine.query import AggregateSpec, ScanQuery
+from repro.engine.query import AggregateFunction, AggregateSpec, ScanQuery
 from repro.errors import PlanError
 from repro.storage.table import ColumnTable, PaxTable, RowTable, Table
 
@@ -36,17 +36,32 @@ def scan_plan(
     table: Table,
     query: ScanQuery,
     column_scanner: ColumnScannerKind = ColumnScannerKind.PIPELINED,
+    row_range: tuple[int, int] | None = None,
 ) -> Operator:
-    """A scanner for ``query`` matching the table's physical layout."""
+    """A scanner for ``query`` matching the table's physical layout.
+
+    ``row_range`` restricts the scan to the half-open global row window
+    ``[lo, hi)`` — the unit of horizontal partitioning that
+    :mod:`repro.engine.parallel` fans out across workers.  Emitted
+    positions remain global Record IDs.
+    """
     query.validate_against(table.schema)
     if isinstance(table, RowTable):
-        return RowScanner(context, table, query.select, query.predicates)
+        return RowScanner(
+            context, table, query.select, query.predicates, row_range=row_range
+        )
     if isinstance(table, PaxTable):
-        return PaxScanner(context, table, query.select, query.predicates)
+        return PaxScanner(
+            context, table, query.select, query.predicates, row_range=row_range
+        )
     if isinstance(table, ColumnTable):
         if column_scanner is ColumnScannerKind.FUSED:
-            return FusedColumnScanner(context, table, query.select, query.predicates)
-        return ColumnScanner(context, table, query.select, query.predicates)
+            return FusedColumnScanner(
+                context, table, query.select, query.predicates, row_range=row_range
+            )
+        return ColumnScanner(
+            context, table, query.select, query.predicates, row_range=row_range
+        )
     raise PlanError(f"unsupported table type: {type(table).__name__}")
 
 
@@ -57,6 +72,7 @@ def aggregate_plan(
     spec: AggregateSpec,
     sort_based: bool = False,
     column_scanner: ColumnScannerKind = ColumnScannerKind.PIPELINED,
+    row_range: tuple[int, int] | None = None,
 ) -> Operator:
     """Aggregation over a scan; optionally sort-based (adds a sort)."""
     needed = set(spec.group_by)
@@ -67,7 +83,7 @@ def aggregate_plan(
         raise PlanError(
             f"aggregate needs attributes not selected by the scan: {sorted(missing)}"
         )
-    scan = scan_plan(context, table, query, column_scanner)
+    scan = scan_plan(context, table, query, column_scanner, row_range=row_range)
     if sort_based:
         if not spec.group_by:
             raise PlanError("sort-based aggregation requires a group-by key")
@@ -81,6 +97,25 @@ def aggregate_plan(
             child = SortOperator(context, child, key=key)
         return SortAggregate(context, child, spec)
     return HashAggregate(context, scan, spec)
+
+
+def decompose_aggregate(spec: AggregateSpec) -> tuple[AggregateSpec, ...]:
+    """The per-partition partial aggregates that reassemble ``spec``.
+
+    COUNT/SUM/MIN/MAX are self-decomposable; AVG splits into a SUM and
+    a COUNT whose merged ratio reproduces the serial float64 result
+    exactly for integer inputs below 2**53.  The partials share the
+    final spec's group-by key, so
+    :class:`~repro.engine.operators.gather.MergePartials` can regroup
+    their outputs with the same ``np.unique`` machinery the serial
+    :class:`~repro.engine.operators.aggregate.HashAggregate` uses.
+    """
+    if spec.function is AggregateFunction.AVG:
+        return (
+            AggregateSpec(spec.group_by, AggregateFunction.SUM, spec.argument),
+            AggregateSpec(spec.group_by, AggregateFunction.COUNT, None),
+        )
+    return (spec,)
 
 
 def merge_join_plan(

@@ -94,3 +94,9 @@ class AggregateSpec:
         needs_arg = self.function is not AggregateFunction.COUNT
         if needs_arg and self.argument is None:
             raise PlanError(f"{self.function.value} needs an argument attribute")
+
+    def output_name(self) -> str:
+        """The result column's name (``count`` / ``sum_X`` / ...)."""
+        if self.function is AggregateFunction.COUNT:
+            return "count"
+        return f"{self.function.value}_{self.argument}"

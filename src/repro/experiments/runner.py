@@ -257,6 +257,115 @@ def measure_aggregate(
     )
 
 
+@dataclass(frozen=True)
+class ParallelScanMeasurement:
+    """One scan measured with partitioned multi-core execution.
+
+    The disk array serves one stream per partition (all starting at
+    time zero, so they compete for the same spindles); CPU work is the
+    merged per-worker events divided across ``workers`` cores.
+    """
+
+    serial: ScanMeasurement
+    workers: int
+    partitions: int
+    io_elapsed: float            #: slowest partition stream's finish time
+    cpu: CpuBreakdown
+    events: CostEvents
+
+    @property
+    def elapsed(self) -> float:
+        return max(self.io_elapsed, self.cpu.total / self.workers)
+
+    @property
+    def speedup(self) -> float:
+        """Serial elapsed over parallel elapsed."""
+        return self.serial.elapsed / self.elapsed if self.elapsed else float("inf")
+
+
+def measure_parallel_scan(
+    table: Table,
+    query: ScanQuery,
+    config: ExperimentConfig | None = None,
+    column_scanner: ColumnScannerKind = ColumnScannerKind.PIPELINED,
+    workers: int = 2,
+    partitions: int | None = None,
+) -> ParallelScanMeasurement:
+    """Measure one scan fanned out over row-range partitions.
+
+    Executes the real partition-and-merge machinery (in process — the
+    accounting, not the wall clock, is what feeds the model), scales the
+    merged events to paper cardinality, and simulates one disk stream
+    per partition: partition ``i`` reads its proportional share of every
+    file extent, and all streams start at time zero.  Elapsed is
+    ``max(slowest stream, CPU / workers)`` — the multi-core analogue of
+    the serial ``max(I/O, CPU)`` overlap.
+    """
+    from repro.engine.parallel import parallel_query
+    from repro.storage.partition import partition_ranges
+
+    config = config or ExperimentConfig()
+    if table.num_rows <= 0:
+        raise SimulationError("cannot measure a scan over an empty table")
+    if workers < 1:
+        raise SimulationError(f"worker count must be positive: {workers}")
+    partitions = partitions if partitions is not None else workers
+
+    serial = measure_scan(table, query, config, column_scanner)
+
+    context = ExecutionContext(
+        calibration=config.calibration, block_size=config.block_size
+    )
+    parallel_query(
+        table,
+        query,
+        workers=1,  # in-process: we want the events, not the wall clock
+        partitions=partitions,
+        context=context,
+        column_scanner=column_scanner,
+    )
+    scale = config.cardinality / table.num_rows
+    events = context.events.scaled(scale)
+
+    sim = DiskArraySim(config.calibration)
+    extents = _scan_files(table, query, config)
+    ranges = partition_ranges(config.cardinality, partitions)
+    streams = []
+    for index, (lo, hi) in enumerate(ranges):
+        fraction = (hi - lo) / config.cardinality
+        files = [
+            FileExtent(
+                name=f"{extent.name}[p{index}]",
+                size_bytes=max(1, int(extent.size_bytes * fraction)),
+            )
+            for extent in extents
+        ]
+        streams.append(
+            ScanStream(
+                name=f"partition-{index}",
+                files=files,
+                unit_bytes=sim.unit_bytes,
+                prefetch_depth=config.effective_prefetch_depth,
+                policy=_scan_policy(table, config),
+            )
+        )
+    all_stats = sim.run(streams)
+    io_elapsed = max(stats.elapsed for stats in all_stats.values())
+
+    events.bytes_read = sum(stats.bytes_read for stats in all_stats.values())
+    events.io_requests = sum(stats.units for stats in all_stats.values())
+    events.stream_switches = sum(stats.switches for stats in all_stats.values())
+    cpu = CpuModel(config.calibration).breakdown(events)
+    return ParallelScanMeasurement(
+        serial=serial,
+        workers=workers,
+        partitions=partitions,
+        io_elapsed=io_elapsed,
+        cpu=cpu,
+        events=events,
+    )
+
+
 def measure_scan(
     table: Table,
     query: ScanQuery,

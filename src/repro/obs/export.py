@@ -62,7 +62,21 @@ def chrome_trace(
         },
     ]
     if tracer is not None:
+        # Track 0 is the parent query thread (tid 1); parallel worker
+        # tracks 1..N become their own named threads (tid 1 + track).
+        named_tracks = {0}
         for piece in tracer.slices:
+            if piece.track not in named_tracks:
+                named_tracks.add(piece.track)
+                events.append(
+                    {
+                        "ph": "M",
+                        "pid": 1,
+                        "tid": 1 + piece.track,
+                        "name": "thread_name",
+                        "args": {"name": f"worker {piece.track - 1}"},
+                    }
+                )
             events.append(
                 {
                     "name": f"{piece.name}.{piece.phase}",
@@ -71,7 +85,7 @@ def chrome_trace(
                     "ts": piece.start_ns / 1_000,
                     "dur": piece.duration_ns / 1_000,
                     "pid": 1,
-                    "tid": 1,
+                    "tid": 1 + piece.track,
                     "args": {"span_id": piece.span_id, "phase": piece.phase},
                 }
             )

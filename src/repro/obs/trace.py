@@ -28,7 +28,7 @@ timeline.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.cpusim.events import CostEvents
 
@@ -44,6 +44,9 @@ class TraceSlice:
     phase: str        #: ``open`` | ``next`` | ``close``
     start_ns: int     #: relative to the tracer's epoch
     duration_ns: int
+    #: Execution track: 0 is the parent query thread; parallel worker
+    #: processes get tracks 1..N (rendered as separate Perfetto threads).
+    track: int = 0
 
 
 @dataclass
@@ -193,6 +196,61 @@ class SpanTracer:
                 )
             else:
                 self.dropped_slices += 1
+
+    # --- cross-process stitching -------------------------------------------
+
+    def attach_subtree(
+        self,
+        roots: list[OperatorSpan],
+        slices: list[TraceSlice],
+        track: int = 0,
+        under: OperatorSpan | None = None,
+        epoch_ns: int | None = None,
+    ) -> None:
+        """Graft spans recorded by another tracer into this tree.
+
+        Used by :mod:`repro.engine.parallel` to stitch worker-process
+        span trees into the parent trace.  Span ids are renumbered into
+        this tracer's id space (and slice span ids remapped to match);
+        slices are tagged with ``track`` so exporters can render each
+        worker on its own thread.  When the worker tracer's ``epoch_ns``
+        is given, slice timestamps are rebased onto this tracer's epoch
+        (``perf_counter_ns`` is machine-wide monotonic, so forked
+        workers share the clock).  ``under`` parents the subtree below
+        an existing span — e.g. the gather node that consumed the
+        workers' output — keeping ``total_events()`` equal to the
+        parent-context plan total.
+        """
+        mapping: dict[int, int] = {}
+
+        def renumber(span: OperatorSpan) -> None:
+            mapping[span.span_id] = self._next_id
+            span.span_id = self._next_id
+            self._next_id += 1
+            for child in span.children:
+                renumber(child)
+
+        for root in roots:
+            renumber(root)
+        if under is not None:
+            under.children.extend(roots)
+        else:
+            self.roots.extend(roots)
+        if not self.record_slices:
+            return
+        offset = 0 if epoch_ns is None else epoch_ns - self.epoch_ns
+        for piece in slices:
+            if len(self.slices) >= self.max_slices:
+                self.dropped_slices += 1
+                continue
+            self.slices.append(
+                replace(
+                    piece,
+                    span_id=mapping.get(piece.span_id, piece.span_id),
+                    start_ns=piece.start_ns + offset,
+                    track=track,
+                )
+            )
 
     # --- aggregates --------------------------------------------------------
 

@@ -2,14 +2,22 @@
 
 The paper's engine uses precompiled queries against known tables; the
 catalog gives examples and the experiment harness a single place to
-register loaded tables and look them up by name and layout.
+register loaded tables and look them up by name and layout.  It also
+tracks horizontally partitioned tables (see
+:mod:`repro.storage.partition`) with their partition manifests, so the
+parallel executor can resolve a name to per-partition shards.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.errors import StorageError
 from repro.storage.layout import Layout
 from repro.storage.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.storage.partition import PartitionedTable
 
 
 class Catalog:
@@ -17,6 +25,7 @@ class Catalog:
 
     def __init__(self) -> None:
         self._tables: dict[tuple[str, Layout], Table] = {}
+        self._partitioned: dict[tuple[str, Layout], "PartitionedTable"] = {}
 
     def register(self, table: Table) -> None:
         """Register a table under its schema name and layout."""
@@ -49,3 +58,39 @@ class Catalog:
 
     def __len__(self) -> int:
         return len(self._tables)
+
+    # --- partitioned tables ------------------------------------------------
+
+    def register_partitioned(self, ptable: "PartitionedTable") -> None:
+        """Register a partitioned table under its schema name and layout."""
+        key = (ptable.schema.name, ptable.layout)
+        if key in self._partitioned:
+            raise StorageError(
+                f"partitioned table {ptable.schema.name!r} already registered "
+                f"as {ptable.layout}"
+            )
+        self._partitioned[key] = ptable
+
+    def replace_partitioned(self, ptable: "PartitionedTable") -> None:
+        """Register or overwrite (used after repartitioning)."""
+        self._partitioned[(ptable.schema.name, ptable.layout)] = ptable
+
+    def get_partitioned(self, name: str, layout: Layout) -> "PartitionedTable":
+        """Look up a partitioned table; raises when absent."""
+        try:
+            return self._partitioned[(name, layout)]
+        except KeyError as exc:
+            raise StorageError(
+                f"no partitioned table {name!r} with layout {layout} in catalog"
+            ) from exc
+
+    def has_partitioned(self, name: str, layout: Layout) -> bool:
+        return (name, layout) in self._partitioned
+
+    def partition_manifest(self, name: str, layout: Layout) -> dict:
+        """The registered table's partition manifest (row ranges)."""
+        return self.get_partitioned(name, layout).manifest()
+
+    def partitioned_names(self) -> list[str]:
+        """Sorted distinct partitioned-table names."""
+        return sorted({name for name, _layout in self._partitioned})

@@ -77,6 +77,13 @@ class GeneratedCase:
     topn_key: str | None = None
     topn_count: int | None = None
     topn_descending: bool = False
+    #: Parallel execution toggle: ``workers > 1`` additionally runs the
+    #: case through :func:`repro.engine.parallel.parallel_query` with
+    #: ``num_partitions`` row-range partitions and diffs that result
+    #: against the oracle too.  Both are pure functions of the seed, so
+    #: a failing parallel case replays with the same worker count.
+    workers: int = 1
+    num_partitions: int | None = None
     #: Notes appended by the minimizer describing applied shrink steps.
     shrink_steps: list[str] = field(default_factory=list)
 
@@ -112,6 +119,11 @@ class GeneratedCase:
         if self.topn_key is not None:
             direction = "desc" if self.topn_descending else "asc"
             parts.append(f"top-n: {self.topn_count} by {self.topn_key} {direction}")
+        if self.workers > 1:
+            parts.append(
+                f"parallel: workers={self.workers} "
+                f"partitions={self.num_partitions or self.workers}"
+            )
         if self.shrink_steps:
             parts.append("shrunk: " + "; ".join(self.shrink_steps))
         return "\n  ".join(parts)
@@ -396,14 +408,23 @@ def generate_case(seed: int) -> GeneratedCase:
         query=query,
     )
     if kind == "aggregate":
-        return _aggregate_case(rng, case)
-    if kind == "limit":
-        return replace(case, limit_count=rng.randint(0, num_rows + 2))
-    if kind == "topn":
-        return replace(
+        case = _aggregate_case(rng, case)
+    elif kind == "limit":
+        case = replace(case, limit_count=rng.randint(0, num_rows + 2))
+    elif kind == "topn":
+        case = replace(
             case,
             topn_key=rng.choice(query.select),
             topn_count=rng.randint(1, num_rows + 2),
             topn_descending=rng.random() < 0.5,
+        )
+    # About a third of non-join cases additionally exercise the
+    # partitioned parallel executor; deliberately includes more
+    # partitions than rows (empty partitions) and uneven splits.
+    if rng.random() < 0.35:
+        case = replace(
+            case,
+            workers=rng.choice([2, 3, 4]),
+            num_partitions=rng.choice([1, 2, 3, 5, 7]),
         )
     return case

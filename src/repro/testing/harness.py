@@ -229,6 +229,29 @@ def _run_engine(case: GeneratedCase, config: ScanConfig) -> QueryResult:
     return execute_plan(scan)
 
 
+def _run_parallel(case: GeneratedCase, config: ScanConfig) -> QueryResult:
+    """The case's query through the partitioned parallel executor."""
+    from repro.engine.parallel import parallel_query
+
+    table = _load(case, case.query.table, config.layout)
+    kwargs: dict = {}
+    if case.kind == "aggregate":
+        kwargs["aggregate"] = case.aggregate
+        kwargs["sort_based"] = case.sort_based
+    elif case.kind == "limit":
+        kwargs["limit"] = case.limit_count
+    elif case.kind == "topn":
+        kwargs["topn"] = (case.topn_key, case.topn_count, case.topn_descending)
+    return parallel_query(
+        table,
+        case.query,
+        workers=case.workers,
+        partitions=case.num_partitions,
+        column_scanner=config.column_scanner,
+        **kwargs,
+    )
+
+
 def _oracle_expected(case: GeneratedCase) -> OracleResult:
     data = case.tables[case.query.table]
     if case.kind == "aggregate":
@@ -471,6 +494,21 @@ def run_case(case: GeneratedCase, metamorphic: bool = True) -> CaseOutcome:
         if error:
             outcome.failures.append(f"[{config.name}] {error}")
         outcome.coverage |= _case_coverage(case, config)
+    # Parallel-equivalence leg: the same case through the partitioned
+    # executor must match the same oracle answer (joins are not
+    # decomposable and stay serial-only).
+    if case.workers > 1 and case.kind != "join":
+        for config in CONFIGS:
+            try:
+                result = _run_parallel(case, config)
+                error = compare_result(case, result, expected)
+            except Exception as exc:  # noqa: BLE001 - a crash is a finding
+                error = f"{type(exc).__name__}: {exc}"
+            outcome.checks += 1
+            if error:
+                outcome.failures.append(
+                    f"[{config.name} workers={case.workers}] {error}"
+                )
     if metamorphic and not outcome.failures:
         try:
             meta = metamorphic_failures(case)
@@ -540,6 +578,15 @@ def minimize_case(
     changed = True
     while changed and spent < budget:
         changed = False
+        # Is the failure parallel-specific?  Serial-only repros first.
+        if case.workers > 1:
+            candidate = attempt(
+                replace(case, workers=1, num_partitions=None), "workers->1"
+            )
+            if candidate is not None:
+                case = candidate
+                changed = True
+                continue
         # Halve the data.
         rows = max(d.num_rows for d in case.tables.values())
         if rows > 1:

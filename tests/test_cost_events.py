@@ -155,3 +155,107 @@ class TestAsDict:
         events.count_decode(CodecKind.DICT, 5)
         events.count_decode(CodecKind.PACK, 6)
         assert events.total_decodes() == 11
+
+
+class TestParallelMerge:
+    """Worker events merge into the parent context exactly once."""
+
+    @staticmethod
+    def _setup():
+        from repro.data.tpch import generate_orders
+        from repro.engine.predicate import predicate_for_selectivity
+        from repro.engine.query import ScanQuery
+        from repro.storage.layout import Layout
+        from repro.storage.loader import load_table
+
+        data = generate_orders(1_200, seed=13)
+        table = load_table(data, Layout.ROW)
+        predicate = predicate_for_selectivity(
+            "O_TOTALPRICE", data.column("O_TOTALPRICE"), 0.4
+        )
+        query = ScanQuery(
+            "ORDERS",
+            select=("O_ORDERKEY", "O_TOTALPRICE"),
+            predicates=(predicate,),
+        )
+        return table, query
+
+    def test_plan_total_equals_sum_of_worker_deltas(self):
+        """A parallel scan's plan-total is exactly the sum of its
+        per-worker event deltas, plus the parent gather's own block
+        emissions (the only work the merge plan adds for a plain
+        scan)."""
+        from repro.engine.context import ExecutionContext
+        from repro.engine.parallel import WorkerTask, _execute_task, parallel_query
+        from repro.engine.plan import ColumnScannerKind
+        from repro.storage.partition import partition_ranges
+
+        table, query = self._setup()
+        context = ExecutionContext()
+        parallel_query(table, query, workers=2, partitions=3, context=context)
+
+        expected = CostEvents()
+        gathered_blocks = 0
+        for index, row_range in enumerate(partition_ranges(table.num_rows, 3)):
+            out = _execute_task(
+                WorkerTask(
+                    index=index,
+                    table=table,
+                    query=query,
+                    row_range=row_range,
+                    position_offset=0,
+                    column_scanner=ColumnScannerKind.PIPELINED,
+                    calibration=context.calibration,
+                    block_size=context.block_size,
+                    compressed_execution=False,
+                    strict_integrity=True,
+                    trace=False,
+                )
+            )
+            expected.merge(out.events)
+            if len(out.positions):
+                gathered_blocks += 1
+        expected.blocks_produced += gathered_blocks  # parent Gather re-emits
+        assert context.events.as_dict() == expected.as_dict()
+
+    def test_single_partition_parallel_equals_serial_events(self):
+        from repro.engine.context import ExecutionContext
+        from repro.engine.executor import run_scan
+        from repro.engine.parallel import parallel_query
+
+        table, query = self._setup()
+        serial = ExecutionContext()
+        run_scan(table, query, serial)
+        parallel = ExecutionContext()
+        parallel_query(table, query, workers=1, partitions=1, context=parallel)
+        got = parallel.events.as_dict()
+        want = serial.events.as_dict()
+        # The gather node re-emits the worker's materialized block; all
+        # scan-side counters must match the serial run exactly.
+        assert got.pop("blocks_produced") == want.pop("blocks_produced") + 1
+        assert got == want
+
+    def test_traced_parallel_total_matches_context(self):
+        """Stitched worker span trees plus the parent merge spans sum
+        exactly to the merged plan total — no double counting."""
+        from repro.engine.context import ExecutionContext
+        from repro.engine.parallel import parallel_query
+        from repro.obs.trace import SpanTracer
+
+        table, query = self._setup()
+        context = ExecutionContext(tracer=SpanTracer())
+        parallel_query(table, query, workers=2, partitions=3, context=context)
+        assert context.tracer.total_events().as_dict() == context.events.as_dict()
+        tracks = {piece.track for piece in context.tracer.slices}
+        assert tracks == {0, 1, 2, 3}  # parent plus one track per worker
+
+    def test_repeated_runs_accumulate_additively(self):
+        from repro.engine.context import ExecutionContext
+        from repro.engine.parallel import parallel_query
+
+        table, query = self._setup()
+        context = ExecutionContext()
+        parallel_query(table, query, workers=2, partitions=3, context=context)
+        once = context.events.snapshot()
+        parallel_query(table, query, workers=2, partitions=3, context=context)
+        assert context.events.diff(once).as_dict() == once.as_dict()

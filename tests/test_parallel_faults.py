@@ -1,0 +1,159 @@
+"""Fault handling under parallel execution: determinism and degradation.
+
+Two guarantees from the parallel executor's failure policy:
+
+* deterministic corruption accounting — a fixed, seeded bit flip
+  surfaces the *same* ``CorruptionReport`` fault set whether the
+  salvage scan runs serially or split across worker processes (boundary
+  pages decoded by two adjacent workers are deduplicated, not
+  double-reported);
+* graceful degradation — a crashing worker never hangs the pool; the
+  query is retried in-process and still returns the correct answer,
+  with cost events counted exactly once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.tpch import generate_orders
+from repro.engine.context import ExecutionContext
+from repro.engine.executor import run_scan
+from repro.engine.parallel import parallel_query
+from repro.engine.plan import ColumnScannerKind
+from repro.engine.predicate import predicate_for_selectivity
+from repro.engine.query import ScanQuery
+from repro.errors import ChecksumError
+from repro.storage.faults import FaultPlan
+from repro.storage.layout import Layout
+from repro.storage.loader import load_table
+
+ROWS = 2_000
+
+ARCHITECTURES = (
+    ("row", Layout.ROW, ColumnScannerKind.PIPELINED),
+    ("pax", Layout.PAX, ColumnScannerKind.PIPELINED),
+    ("column", Layout.COLUMN, ColumnScannerKind.PIPELINED),
+    ("fused", Layout.COLUMN, ColumnScannerKind.FUSED),
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_orders(ROWS, seed=41)
+
+
+@pytest.fixture(scope="module")
+def query(data):
+    predicate = predicate_for_selectivity(
+        "O_TOTALPRICE", data.column("O_TOTALPRICE"), 0.5
+    )
+    return ScanQuery(
+        "ORDERS",
+        select=("O_ORDERKEY", "O_TOTALPRICE"),
+        predicates=(predicate,),
+    )
+
+
+def _faulty_table(data, layout, pages=(1, 3)):
+    """A freshly loaded table with fixed bit flips on ``pages``.
+
+    Explicit byte/bit offsets make the flips independent of read order,
+    so a pickled copy in a worker process corrupts identically.
+    """
+    table = load_table(data, layout)
+    plan = FaultPlan(seed=99)
+    for page in pages:
+        plan.schedule_bit_flip(page=page, byte=80, bit=4)
+    plan.wrap_table(table)
+    return table
+
+
+def _fault_set(report):
+    return sorted((f.file, f.page, f.rows_lost) for f in report.faults)
+
+
+class TestFaultDeterminism:
+    @pytest.mark.parametrize("arch,layout,kind", ARCHITECTURES)
+    def test_parallel_salvage_reports_same_faults_as_serial(
+        self, data, query, arch, layout, kind
+    ):
+        serial = run_scan(
+            _faulty_table(data, layout), query, column_scanner=kind, salvage=True
+        )
+        assert not serial.corruption.is_clean  # the flips actually landed
+        parallel = parallel_query(
+            _faulty_table(data, layout),
+            query,
+            workers=2,
+            partitions=3,
+            column_scanner=kind,
+            salvage=True,
+        )
+        assert np.array_equal(parallel.positions, serial.positions)
+        for name in serial.columns:
+            assert np.array_equal(parallel.columns[name], serial.columns[name])
+        assert _fault_set(parallel.corruption) == _fault_set(serial.corruption)
+
+    def test_boundary_page_not_double_reported(self, data, query):
+        # Many narrow partitions guarantee some partition boundary
+        # falls inside a corrupt page, so two workers each decode (and
+        # report) it; the merged report must still list it once.
+        serial = run_scan(
+            _faulty_table(data, Layout.ROW), query, salvage=True
+        )
+        parallel = parallel_query(
+            _faulty_table(data, Layout.ROW),
+            query,
+            workers=2,
+            partitions=16,
+            salvage=True,
+        )
+        assert _fault_set(parallel.corruption) == _fault_set(serial.corruption)
+        pages = [(f.file, f.page) for f in parallel.corruption.faults]
+        assert len(pages) == len(set(pages))
+
+    def test_strict_mode_still_raises(self, data, query):
+        with pytest.raises(ChecksumError):
+            parallel_query(
+                _faulty_table(data, Layout.ROW), query, workers=2, partitions=3
+            )
+
+
+class TestCrashDegradation:
+    def test_injected_crash_falls_back_to_serial_retry(self, data, query):
+        table = load_table(data, Layout.ROW)
+        serial = run_scan(table, query)
+        info = {}
+        result = parallel_query(
+            table, query, workers=2, partitions=4, inject_crash=2, info=info
+        )
+        assert info["mode"] == "fallback-serial"
+        assert "WorkerCrash" in info["fallback_reason"]
+        assert np.array_equal(result.positions, serial.positions)
+        for name in serial.columns:
+            assert np.array_equal(result.columns[name], serial.columns[name])
+
+    def test_crash_fallback_counts_events_exactly_once(self, data, query):
+        table = load_table(data, Layout.ROW)
+        baseline = ExecutionContext()
+        parallel_query(
+            table, query, workers=2, partitions=4, context=baseline
+        )
+        crashed = ExecutionContext()
+        parallel_query(
+            table, query, workers=2, partitions=4, context=crashed, inject_crash=1
+        )
+        # The discarded pool attempt must leave no residue: the retry's
+        # totals equal a clean parallel run's.
+        assert crashed.events.as_dict() == baseline.events.as_dict()
+
+    def test_crash_of_every_worker_index_recovers(self, data, query):
+        table = load_table(data, Layout.ROW)
+        serial = run_scan(table, query)
+        for index in range(3):
+            result = parallel_query(
+                table, query, workers=2, partitions=3, inject_crash=index
+            )
+            assert np.array_equal(result.positions, serial.positions)
