@@ -2,7 +2,7 @@
 # PEP 660 editable builds; in offline environments without it, the
 # legacy `setup.py develop` path below installs identically.
 
-.PHONY: install test bench fuzz scrub experiments experiments-md metrics overhead-gate parallel-bench all
+.PHONY: install test bench fuzz chaos chaos-deep scrub experiments experiments-md metrics overhead-gate parallel-bench all
 
 install:
 	pip install -e . 2>/dev/null || python setup.py develop
@@ -18,6 +18,18 @@ bench:
 # `python -m repro.testing --seed N`.
 fuzz:
 	python -m repro.testing --cases 2000
+
+# Chaos harness smoke: 200 seeded lifecycle faults (worker kills/stalls,
+# slow decodes, allocation spikes, tight deadlines, mid-scan cancels) vs
+# the governance contract — correct result XOR typed error, within
+# deadline x slack.  Replay one violation with
+# `python -m repro.testing.chaos --seed N`.
+chaos:
+	python -m repro.testing.chaos --cases 200
+
+# The deep 2,000-case chaos sweep (also: pytest --run-chaos).
+chaos-deep:
+	python -m repro.testing.chaos --cases 2000
 
 # Integrity self-test: inject seeded faults into a scratch table and
 # require the scrubber to pinpoint every one.

@@ -1,4 +1,4 @@
-"""CI gate: the tracing no-op path must stay within 5% of the raw engine.
+"""CI gate: the tracing and governance no-op paths must stay within 5%.
 
 The observability layer promises zero-overhead when disabled: with
 ``ExecutionContext.tracer is None`` the operator layer takes one
@@ -11,6 +11,14 @@ selectivity):
    the pre-instrumentation (seed) bodies, metrics disabled;
 2. **no-op** — the shipped instrumented methods, tracer ``None``,
    metrics disabled.
+
+A second paired gate holds query lifecycle governance (see
+:mod:`repro.engine.governance`) to the same promise: with
+``ExecutionContext.governance is None`` every checkpoint — the one in
+``Operator.next()`` and the per-page ``_governance_check()`` calls
+inside the scanners — costs one attribute load plus a branch.  The
+governance arms swap only those checkpoints (shipped vs stubbed-out),
+so the measured ratio isolates the disabled-governance cost.
 
 Measurement is built for noisy shared runners: both arms alternate in
 paired cycles (each block re-warmed after the method swap, because
@@ -89,6 +97,41 @@ def _seed_close(self) -> None:
 _INSTRUMENTED = (Operator.open, Operator.next, Operator.close)
 _SEED = (_seed_open, _seed_next, _seed_close)
 
+
+# --- the governance-free checkpoint bodies --------------------------------
+
+
+def _nogov_next(self) -> Block | None:
+    # The shipped Operator.next() minus the governance checkpoint.
+    if not self._opened:
+        raise EngineError(f"{type(self).__name__}.next() before open()")
+    tracer = self.context.tracer
+    if tracer is None:
+        block = self._next()
+        if block is not None and len(block):
+            self.events.blocks_produced += 1
+        return block
+    frame = tracer.enter(self, "next")
+    rows = 0
+    blocks = 0
+    try:
+        block = self._next()
+        if block is not None and len(block):
+            self.events.blocks_produced += 1
+            rows = len(block)
+            blocks = 1
+        return block
+    finally:
+        tracer.exit(frame, self.context.events, rows=rows, blocks=blocks)
+
+
+def _nogov_check(self) -> None:
+    pass
+
+
+_GOVERNED = (Operator.next, Operator._governance_check)
+_UNGOVERNED = (_nogov_next, _nogov_check)
+
 #: Scans per timed sample: batching amortizes timer and scheduler noise
 #: that dominates a single ~1 ms scan.
 BATCH = 20
@@ -116,7 +159,9 @@ def _sample(table, query) -> float:
     return time.perf_counter() - started
 
 
-def measure(cycles: int, samples: int) -> tuple[float, list[float]]:
+def _paired(
+    cycles: int, samples: int, use_baseline, use_candidate
+) -> tuple[float, list[float]]:
     """One attempt: (median cycle ratio - 1, the per-cycle ratios)."""
     import statistics
 
@@ -124,18 +169,39 @@ def measure(cycles: int, samples: int) -> tuple[float, list[float]]:
     ratios = []
     try:
         for _ in range(cycles):
-            _use(_SEED)
+            use_baseline()
             _sample(table, query)  # re-specialize after the method swap
             _sample(table, query)
             baseline = min(_sample(table, query) for _ in range(samples))
-            _use(_INSTRUMENTED)
+            use_candidate()
             _sample(table, query)
             _sample(table, query)
-            noop = min(_sample(table, query) for _ in range(samples))
-            ratios.append(noop / baseline)
+            candidate = min(_sample(table, query) for _ in range(samples))
+            ratios.append(candidate / baseline)
     finally:
-        _use(_INSTRUMENTED)
+        use_candidate()  # leave the shipped methods installed
     return statistics.median(ratios) - 1.0, ratios
+
+
+def measure(cycles: int, samples: int) -> tuple[float, list[float]]:
+    """Tracing gate: seed bodies vs shipped instrumented bodies."""
+    return _paired(
+        cycles, samples, lambda: _use(_SEED), lambda: _use(_INSTRUMENTED)
+    )
+
+
+def _use_governance(methods) -> None:
+    Operator.next, Operator._governance_check = methods
+
+
+def measure_governance(cycles: int, samples: int) -> tuple[float, list[float]]:
+    """Governance gate: stubbed checkpoints vs shipped checkpoints."""
+    return _paired(
+        cycles,
+        samples,
+        lambda: _use_governance(_UNGOVERNED),
+        lambda: _use_governance(_GOVERNED),
+    )
 
 
 def demo_artifacts(out_dir: pathlib.Path) -> None:
@@ -183,39 +249,56 @@ def main(argv: list[str] | None = None) -> int:
     out_dir = pathlib.Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
 
-    attempts = []
-    overhead = float("inf")
-    # Quiesce the whole obs layer: this arm is the "disabled" promise.
-    metrics.disable()
-    try:
+    def run_gate(name: str, measurer) -> tuple[float, list[dict]]:
+        attempts = []
+        overhead = float("inf")
         for attempt in range(args.attempts):
-            overhead, ratios = measure(args.cycles, args.samples)
+            overhead, ratios = measurer(args.cycles, args.samples)
             attempts.append({"overhead_fraction": overhead, "cycle_ratios": ratios})
             print(
-                f"attempt {attempt + 1}: cycle ratios "
+                f"{name} attempt {attempt + 1}: cycle ratios "
                 + " ".join(f"{(r - 1) * 100:+.2f}%" for r in ratios)
                 + f" -> median {overhead * 100:+.2f}%"
             )
             if overhead <= threshold:
                 break
+        return overhead, attempts
+
+    # Quiesce the whole obs layer: these arms are the "disabled" promise.
+    metrics.disable()
+    try:
+        tracing_overhead, tracing_attempts = run_gate("tracing", measure)
+        governance_overhead, governance_attempts = run_gate(
+            "governance", measure_governance
+        )
     finally:
         metrics.enable()
 
-    verdict = "OK" if overhead <= threshold else "FAIL"
-    print(
-        f"tracing no-op overhead: {overhead * 100:+.2f}% "
-        f"(threshold {threshold * 100:.0f}%) -> {verdict}"
-    )
+    ok = True
+    for name, overhead in (
+        ("tracing no-op", tracing_overhead),
+        ("governance no-op", governance_overhead),
+    ):
+        verdict = "OK" if overhead <= threshold else "FAIL"
+        ok = ok and overhead <= threshold
+        print(
+            f"{name} overhead: {overhead * 100:+.2f}% "
+            f"(threshold {threshold * 100:.0f}%) -> {verdict}"
+        )
     (out_dir / "overhead.json").write_text(
         json.dumps(
             {
                 "rows": ROWS,
                 "selectivity": SELECTIVITY,
                 "batch": BATCH,
-                "overhead_fraction": overhead,
+                "overhead_fraction": tracing_overhead,
                 "threshold": threshold,
-                "ok": overhead <= threshold,
-                "attempts": attempts,
+                "ok": ok,
+                "attempts": tracing_attempts,
+                "governance": {
+                    "overhead_fraction": governance_overhead,
+                    "attempts": governance_attempts,
+                },
                 "provenance": provenance(),
             },
             indent=2,
@@ -223,7 +306,7 @@ def main(argv: list[str] | None = None) -> int:
         + "\n"
     )
     demo_artifacts(out_dir)
-    return 0 if overhead <= threshold else 1
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

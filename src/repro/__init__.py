@@ -46,14 +46,22 @@ from repro.data import (
     orders_schema,
 )
 from repro.engine import (
+    CancellationToken,
     ExecutionContext,
     Predicate,
+    QueryContext,
     QueryResult,
     ScanQuery,
     predicate_for_selectivity,
     run_scan,
 )
-from repro.errors import ReproError
+from repro.errors import (
+    GovernanceError,
+    MemoryBudgetExceeded,
+    QueryCancelled,
+    QueryTimeout,
+    ReproError,
+)
 from repro.experiments import (
     CompetingTraffic,
     ExperimentConfig,
@@ -90,6 +98,13 @@ __all__ = [
     "__version__",
     "ReproError",
     "Database",
+    # governance
+    "CancellationToken",
+    "QueryContext",
+    "GovernanceError",
+    "QueryTimeout",
+    "QueryCancelled",
+    "MemoryBudgetExceeded",
     # types
     "IntType",
     "FixedTextType",

@@ -14,6 +14,7 @@ should use.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.compression.advisor import CompressionAdvisor
@@ -21,6 +22,12 @@ from repro.data.generator import GeneratedTable
 from repro.design.materialize import MaterializedView, ViewRouter, materialize_view
 from repro.engine.context import ExecutionContext
 from repro.engine.executor import QueryResult, run_scan
+from repro.engine.governance import (
+    CancellationToken,
+    CircuitBreaker,
+    QueryContext,
+    SupervisionPolicy,
+)
 from repro.engine.predicate import Predicate, predicate_for_selectivity
 from repro.engine.query import ScanQuery
 from repro.errors import ChecksumError, PlanError, StorageError
@@ -55,6 +62,10 @@ class Database:
         self.layouts = tuple(layouts)
         self.page_size = page_size
         self._tables: dict[str, _TableEntry] = {}
+        #: Remembers repeatedly-failing partitions across this
+        #: instance's parallel queries and routes them straight to
+        #: salvage-mode serial scans (see :mod:`repro.engine.governance`).
+        self.breaker = CircuitBreaker()
 
     # --- DDL -------------------------------------------------------------
 
@@ -134,6 +145,10 @@ class Database:
         salvage: bool = False,
         workers: int = 1,
         partitions: int | None = None,
+        timeout: float | None = None,
+        memory_budget: int | None = None,
+        cancellation: CancellationToken | None = None,
+        policy: SupervisionPolicy | None = None,
     ) -> QueryResult:
         """Execute a scan, optionally routed to a covering view.
 
@@ -144,12 +159,35 @@ class Database:
 
         ``workers > 1`` fans the scan out over row-range partitions
         (``partitions``, default one per worker) in a multiprocessing
-        pool — see :func:`repro.engine.parallel.parallel_query`.  Plans
-        the parallel executor cannot decompose fall back to the serial
-        engine transparently.
+        pool — see :func:`repro.engine.parallel.parallel_query`.  The
+        worker count is clamped to ``os.cpu_count()``: oversubscribing
+        the fork pool only adds scheduling latency.  Plans the parallel
+        executor cannot decompose fall back to the serial engine
+        transparently.
+
+        ``timeout`` (seconds), ``memory_budget`` (bytes), and
+        ``cancellation`` opt the query into lifecycle governance (see
+        :mod:`repro.engine.governance`): it then either completes,
+        degrades gracefully, or raises a typed
+        :class:`~repro.errors.GovernanceError` subclass — it never
+        hangs and never returns a partial result.  They require a
+        ``context`` without a governance of its own (or none).
         """
         entry = self._entry(table)
         scan = ScanQuery(table, select=select, predicates=predicates)
+        if timeout is not None or memory_budget is not None or cancellation is not None:
+            context = context or ExecutionContext()
+            if context.governance is not None:
+                raise PlanError(
+                    "pass either a governed context or timeout/budget/"
+                    "cancellation arguments, not both"
+                )
+            context.governance = QueryContext.start(
+                timeout=timeout,
+                memory_budget=memory_budget,
+                token=cancellation,
+                label=f"query on {table}",
+            )
         target: Table
         if layout is not None:
             target = self.table(table, layout)
@@ -157,6 +195,8 @@ class Database:
             target, _source = entry.router.route(scan)
         else:
             target = entry.tables[self.layouts[0]]
+        if workers > 1:
+            workers = max(1, min(workers, os.cpu_count() or 1))
         if workers > 1:
             from repro.engine.parallel import parallel_query
 
@@ -168,6 +208,8 @@ class Database:
                     partitions=partitions,
                     context=context,
                     salvage=salvage,
+                    policy=policy,
+                    breaker=self.breaker,
                 )
             except PlanError:
                 # Not decomposable: run the plain serial scan instead.
@@ -186,6 +228,10 @@ class Database:
         salvage: bool = False,
         workers: int = 1,
         partitions: int | None = None,
+        timeout: float | None = None,
+        memory_budget: int | None = None,
+        cancellation: CancellationToken | None = None,
+        policy: SupervisionPolicy | None = None,
     ) -> QueryProfile:
         """Execute a scan under span tracing.
 
@@ -196,7 +242,10 @@ class Database:
         and a provenance-stamped flat profile (``.to_dict()``) derive.
 
         With ``workers > 1`` worker-process span trees are stitched
-        into the parent trace (one Perfetto track per worker).
+        into the parent trace (one Perfetto track per worker).  With a
+        ``timeout``/``memory_budget``/``cancellation`` the profile
+        carries a governance snapshot and ``explain_text()`` appends
+        the governance outcomes (why the query degraded).
         """
         context = ExecutionContext(tracer=SpanTracer())
         result = self.query(
@@ -209,11 +258,18 @@ class Database:
             salvage=salvage,
             workers=workers,
             partitions=partitions,
+            timeout=timeout,
+            memory_budget=memory_budget,
+            cancellation=cancellation,
+            policy=policy,
         )
         return QueryProfile(
             result=result,
             tracer=context.tracer,
             provenance=provenance(context.calibration),
+            governance=(
+                context.governance.snapshot() if context.governance else None
+            ),
         )
 
     def explain(
@@ -226,12 +282,17 @@ class Database:
         salvage: bool = False,
         workers: int = 1,
         partitions: int | None = None,
+        timeout: float | None = None,
+        memory_budget: int | None = None,
+        cancellation: CancellationToken | None = None,
+        policy: SupervisionPolicy | None = None,
     ) -> str:
         """EXPLAIN ANALYZE: execute the scan traced, render the plan.
 
         Every plan node is annotated with its wall time, ``next()``
         call/block/row counts, and its exclusive share of the query's
-        :class:`~repro.cpusim.events.CostEvents`.
+        :class:`~repro.cpusim.events.CostEvents`.  Governed queries get
+        a trailing governance section (see :meth:`profile`).
         """
         return self.profile(
             table,
@@ -242,6 +303,10 @@ class Database:
             salvage=salvage,
             workers=workers,
             partitions=partitions,
+            timeout=timeout,
+            memory_budget=memory_budget,
+            cancellation=cancellation,
+            policy=policy,
         ).explain_text()
 
     def predicate(self, table: str, attr: str, selectivity: float) -> Predicate:

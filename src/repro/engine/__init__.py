@@ -11,6 +11,12 @@ from repro.engine.blocks import Block
 from repro.engine.compressed_exec import CodePredicate, rewrite_all, rewrite_predicate
 from repro.engine.context import ExecutionContext
 from repro.engine.executor import QueryResult, execute_plan, run_scan
+from repro.engine.governance import (
+    CancellationToken,
+    CircuitBreaker,
+    QueryContext,
+    SupervisionPolicy,
+)
 from repro.engine.plan import aggregate_plan, scan_plan
 from repro.engine.predicate import (
     ComparisonOp,
@@ -25,6 +31,10 @@ __all__ = [
     "rewrite_predicate",
     "rewrite_all",
     "ExecutionContext",
+    "CancellationToken",
+    "CircuitBreaker",
+    "QueryContext",
+    "SupervisionPolicy",
     "Predicate",
     "ComparisonOp",
     "predicate_for_selectivity",

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from repro.cpusim.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.cpusim.events import CostEvents
 from repro.engine.blocks import DEFAULT_BLOCK_SIZE
+from repro.engine.governance import QueryContext
 from repro.obs.trace import SpanTracer
 from repro.storage.scrub import CorruptionReport
 
@@ -32,6 +33,10 @@ class ExecutionContext:
     #: Per-operator span tracing (see :mod:`repro.obs.trace`).  ``None``
     #: (the default) keeps the operator layer on its untraced fast path.
     tracer: SpanTracer | None = None
+    #: Lifecycle policy — deadline, cancellation token, memory budget
+    #: (see :mod:`repro.engine.governance`).  ``None`` (the default)
+    #: skips every governance checkpoint.
+    governance: QueryContext | None = None
 
     def reset_events(self) -> None:
         """Fresh counters (e.g. between repeated executions).

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.engine.blocks import Block, concat_blocks, split_into_blocks
+from repro.engine.blocks import Block, split_into_blocks
 from repro.engine.context import ExecutionContext
+from repro.engine.governance import GovernedAccumulator
 from repro.engine.operators.base import Operator
 from repro.engine.query import AggregateFunction, AggregateSpec
 from repro.errors import EngineError, PlanError
@@ -45,14 +46,17 @@ class _AggregateBase(Operator):
         return self._ready.pop(0)
 
     def _drain_child(self) -> Block:
-        blocks = []
+        # The grouping working set is charged against the query's memory
+        # budget at block granularity (reduced-width retry, then abort).
+        accumulator = GovernedAccumulator(
+            self.context.governance, type(self).__name__
+        )
         while True:
             block = self.child.next()
             if block is None:
                 break
-            if len(block):
-                blocks.append(block)
-        return concat_blocks(blocks)
+            accumulator.add(block)
+        return accumulator.finish()
 
     def _compute(self) -> list[Block]:
         raise NotImplementedError

@@ -43,6 +43,19 @@ class Operator(abc.ABC):
         """One-line span annotation for EXPLAIN/trace output (hook)."""
         return ""
 
+    def _governance_check(self) -> None:
+        """One cooperative checkpoint (deadline/cancellation).
+
+        Called per ``next()`` by the base class and again inside the
+        scanners' per-page loops, so a cancel or deadline lands within
+        one page's worth of work even when a single ``_next()`` decodes
+        many pages (or, for the late-materialized architectures, the
+        entire column).
+        """
+        governance = self.context.governance
+        if governance is not None:
+            governance.check(type(self).__name__)
+
     def _salvage_decode(self, decode, file_name: str, page_index: int, row_span: int):
         """Run one page read+decode under the integrity policy.
 
@@ -90,6 +103,9 @@ class Operator(abc.ABC):
         """The next block of tuples, or ``None`` when exhausted."""
         if not self._opened:
             raise EngineError(f"{type(self).__name__}.next() before open()")
+        governance = self.context.governance
+        if governance is not None:
+            governance.check(type(self).__name__)
         tracer = self.context.tracer
         if tracer is None:
             block = self._next()

@@ -159,6 +159,7 @@ class ColumnScanner(Operator):
         row_base = 0
         file = node.column_file.file
         for page_index in range(file.num_pages):
+            self._governance_check()
             span = node.column_file.row_span_of_page(page_index, self.table.num_rows)
             if row_base >= hi:
                 break
@@ -279,6 +280,7 @@ class ColumnScanner(Operator):
             keep = np.ones(positions.size, dtype=bool)
             chunks = []
             for page_id in np.unique(page_ids):
+                self._governance_check()
                 selector = page_ids == page_id
                 in_page = positions[selector] - node.column_file.first_row_of_page(
                     int(page_id)

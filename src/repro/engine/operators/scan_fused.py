@@ -110,6 +110,7 @@ class FusedColumnScanner(Operator):
             chunks = []
             row_base = 0
             for page_index in range(column_file.file.num_pages if window else 0):
+                self._governance_check()
                 span = column_file.row_span_of_page(page_index, num_rows)
                 if row_base >= hi:
                     break

@@ -80,6 +80,7 @@ class PaxScanner(Operator):
                     self._emitted_any = True
                     return self._empty_block()
                 return None
+            self._governance_check()
             index = self._page_index
             self._page_index += 1
             if self._row_base + self.table.row_span_of_page(index) <= lo:

@@ -97,6 +97,7 @@ class RowScanner(Operator):
                     self._emitted_any = True
                     return self._empty_block()
                 return None
+            self._governance_check()
             index = self._page_index
             self._page_index += 1
             span = self.table.row_span_of_page(index)

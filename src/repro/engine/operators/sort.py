@@ -11,8 +11,9 @@ import math
 
 import numpy as np
 
-from repro.engine.blocks import Block, concat_blocks, split_into_blocks
+from repro.engine.blocks import Block, split_into_blocks
 from repro.engine.context import ExecutionContext
+from repro.engine.governance import GovernedAccumulator
 from repro.engine.operators.base import Operator
 from repro.errors import PlanError
 
@@ -53,14 +54,15 @@ class SortOperator(Operator):
         return self._ready.pop(0)
 
     def _compute(self) -> list[Block]:
-        blocks = []
+        # Materialization is charged against the query's memory budget at
+        # block granularity (with a reduced-width retry before aborting).
+        accumulator = GovernedAccumulator(self.context.governance, "sort")
         while True:
             block = self.child.next()
             if block is None:
                 break
-            if len(block):
-                blocks.append(block)
-        data = concat_blocks(blocks)
+            accumulator.add(block)
+        data = accumulator.finish()
         if not len(data):
             return []
         if self.key not in data.columns:

@@ -78,6 +78,36 @@ class PlanError(EngineError):
     """A query references attributes or tables that do not exist."""
 
 
+class GovernanceError(EngineError):
+    """A query was stopped by its lifecycle policy, not by bad data.
+
+    Raised only when the caller opted into governance (a deadline, a
+    cancellation token, or a memory budget on the
+    :class:`~repro.engine.governance.QueryContext`).  Every governed
+    query either completes, degrades gracefully, or fails fast with one
+    of the subclasses below — it never hangs and never returns a
+    partial result.
+    """
+
+
+class QueryTimeout(GovernanceError):
+    """The query's wall-clock deadline passed before it finished."""
+
+
+class QueryCancelled(GovernanceError):
+    """The query's cancellation token was triggered mid-execution."""
+
+
+class MemoryBudgetExceeded(GovernanceError):
+    """A materializing operator would exceed the query's memory budget.
+
+    Raised *after* the operator attempted a reduced-width retry
+    (narrowing accumulated int64 columns and positions to the smallest
+    dtype that holds their values); the abort is spill-free — nothing
+    was written to disk and no partial result escapes.
+    """
+
+
 class SimulationError(ReproError):
     """The I/O or CPU simulator was configured or driven inconsistently."""
 

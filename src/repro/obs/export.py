@@ -188,10 +188,28 @@ class QueryProfile:
     result: "QueryResult"
     tracer: SpanTracer
     provenance: dict
+    #: Governance snapshot (deadline slack, memory peak, outcome notes)
+    #: when the query ran with a lifecycle policy; ``None`` otherwise.
+    governance: dict | None = None
 
     def explain_text(self) -> str:
-        """The EXPLAIN ANALYZE rendering of the traced plan."""
-        return render_explain(self.tracer)
+        """The EXPLAIN ANALYZE rendering of the traced plan.
+
+        A governed query appends a footer listing every governance
+        outcome — degradations, retries, narrowing, breaker trips — so
+        the plan shows *why* it degraded, not just that it did.
+        """
+        text = render_explain(self.tracer)
+        if self.governance is None:
+            return text
+        lines = [text, "", "Governance:"]
+        lines.append(f"  memory peak: {self.governance['memory_peak']:,} B")
+        remaining = self.governance.get("deadline_remaining_s")
+        if remaining is not None:
+            lines.append(f"  deadline slack: {remaining:.3f}s")
+        for outcome in self.governance["outcomes"] or ["(no interventions)"]:
+            lines.append(f"  - {outcome}")
+        return "\n".join(lines)
 
     def chrome_trace(self) -> dict:
         """Chrome/Perfetto ``trace_event`` JSON for this execution."""
@@ -199,7 +217,10 @@ class QueryProfile:
 
     def to_dict(self) -> dict:
         """Flat profile + provenance (for saving or diffing)."""
-        return flat_profile(self.tracer, provenance=self.provenance)
+        profile = flat_profile(self.tracer, provenance=self.provenance)
+        if self.governance is not None:
+            profile["governance"] = self.governance
+        return profile
 
     def save_chrome_trace(self, path) -> pathlib.Path:
         """Write the Chrome trace to ``path`` (open in Perfetto)."""

@@ -270,6 +270,38 @@ IO_SEEKS = REGISTRY.counter(
     "repro_iosim_seeks_total",
     "Simulated head repositionings (non-contiguous I/O units).",
 )
+GOVERNANCE_TIMEOUTS = REGISTRY.counter(
+    "repro_governance_timeouts_total",
+    "Queries aborted because their wall-clock deadline passed.",
+)
+GOVERNANCE_CANCELLATIONS = REGISTRY.counter(
+    "repro_governance_cancellations_total",
+    "Queries aborted by a tripped cancellation token.",
+)
+GOVERNANCE_BUDGET_ABORTS = REGISTRY.counter(
+    "repro_governance_budget_aborts_total",
+    "Spill-free aborts after a memory budget was exceeded.",
+)
+GOVERNANCE_NARROW_RETRIES = REGISTRY.counter(
+    "repro_governance_narrow_retries_total",
+    "Reduced-width retries that kept a working set inside its budget.",
+)
+GOVERNANCE_BREAKER_TRIPS = REGISTRY.counter(
+    "repro_governance_breaker_trips_total",
+    "Circuit-breaker openings for repeatedly failing partitions.",
+)
+GOVERNANCE_PARTITION_RETRIES = REGISTRY.counter(
+    "repro_governance_partition_retries_total",
+    "Single-partition kill-and-retry recoveries by the supervisor.",
+)
+GOVERNANCE_DEGRADATIONS = REGISTRY.counter(
+    "repro_governance_degradations_total",
+    "Worker-count degradation steps taken by the supervision ladder.",
+)
+GOVERNANCE_STALLS = REGISTRY.counter(
+    "repro_governance_stalls_total",
+    "Workers declared stalled after missing their heartbeat window.",
+)
 
 
 # --- exposition CLI -------------------------------------------------------

@@ -84,6 +84,14 @@ class GeneratedCase:
     #: a failing parallel case replays with the same worker count.
     workers: int = 1
     num_partitions: int | None = None
+    #: Governance knobs (see :mod:`repro.engine.governance`): a subset
+    #: of cases runs with a generous deadline and/or a memory budget
+    #: armed.  The budget is sized so reduced-width retries trigger on
+    #: the bigger cases while the answer must still equal the oracle's;
+    #: a typed :class:`~repro.errors.GovernanceError` is an acceptable
+    #: outcome, anything untyped is a failure.
+    deadline: float | None = None
+    memory_budget: int | None = None
     #: Notes appended by the minimizer describing applied shrink steps.
     shrink_steps: list[str] = field(default_factory=list)
 
@@ -123,6 +131,11 @@ class GeneratedCase:
             parts.append(
                 f"parallel: workers={self.workers} "
                 f"partitions={self.num_partitions or self.workers}"
+            )
+        if self.deadline is not None or self.memory_budget is not None:
+            parts.append(
+                f"governance: deadline={self.deadline} "
+                f"budget={self.memory_budget}"
             )
         if self.shrink_steps:
             parts.append("shrunk: " + "; ".join(self.shrink_steps))
@@ -426,5 +439,15 @@ def generate_case(seed: int) -> GeneratedCase:
             case,
             workers=rng.choice([2, 3, 4]),
             num_partitions=rng.choice([1, 2, 3, 5, 7]),
+        )
+    # A slice of cases runs governed: the deadline is generous (it must
+    # not fire on a healthy case), the budget ranges from narrow-retry
+    # territory down to abort territory — the harness accepts a typed
+    # GovernanceError and diffs everything else against the oracle.
+    if rng.random() < 0.15:
+        case = replace(case, deadline=rng.choice([5.0, 10.0, 30.0]))
+    if rng.random() < 0.10:
+        case = replace(
+            case, memory_budget=rng.choice([4_096, 16_384, 262_144, 4_000_000])
         )
     return case

@@ -36,6 +36,7 @@ from repro.compression.base import CodecKind, CodecSpec
 from repro.data.generator import GeneratedTable
 from repro.engine.context import ExecutionContext
 from repro.engine.executor import QueryResult, execute_plan
+from repro.engine.governance import QueryContext
 from repro.engine.operators.limit import Limit, TopN
 from repro.engine.plan import (
     ColumnScannerKind,
@@ -45,6 +46,7 @@ from repro.engine.plan import (
 )
 from repro.engine.predicate import ComparisonOp, Predicate
 from repro.engine.query import AggregateFunction, ScanQuery
+from repro.errors import GovernanceError
 from repro.storage.layout import Layout
 from repro.storage.loader import load_table
 from repro.storage.table import Table
@@ -186,8 +188,20 @@ def _case_coverage(case: GeneratedCase, config: ScanConfig) -> set[tuple[str, st
 # --- engine execution ---------------------------------------------------------
 
 
-def _run_engine(case: GeneratedCase, config: ScanConfig) -> QueryResult:
+def _case_context(case: GeneratedCase) -> ExecutionContext:
+    """An execution context honouring the case's governance knobs."""
     context = ExecutionContext()
+    if case.deadline is not None or case.memory_budget is not None:
+        context.governance = QueryContext.start(
+            timeout=case.deadline,
+            memory_budget=case.memory_budget,
+            label=f"fuzz seed {case.seed}",
+        )
+    return context
+
+
+def _run_engine(case: GeneratedCase, config: ScanConfig) -> QueryResult:
+    context = _case_context(case)
     if case.kind == "join":
         left = _load(case, case.join_left_query.table, config.layout)
         right = _load(case, case.query.table, config.layout)
@@ -247,6 +261,7 @@ def _run_parallel(case: GeneratedCase, config: ScanConfig) -> QueryResult:
         case.query,
         workers=case.workers,
         partitions=case.num_partitions,
+        context=_case_context(case),
         column_scanner=config.column_scanner,
         **kwargs,
     )
@@ -488,6 +503,10 @@ def run_case(case: GeneratedCase, metamorphic: bool = True) -> CaseOutcome:
         try:
             result = _run_engine(case, config)
             error = compare_result(case, result, expected)
+        except GovernanceError:
+            # Typed abort under the case's governance knobs: an
+            # acceptable outcome of the lifecycle contract, not a bug.
+            error = None
         except Exception as exc:  # noqa: BLE001 - a crash is a finding
             error = f"{type(exc).__name__}: {exc}"
         outcome.checks += 1
@@ -502,6 +521,8 @@ def run_case(case: GeneratedCase, metamorphic: bool = True) -> CaseOutcome:
             try:
                 result = _run_parallel(case, config)
                 error = compare_result(case, result, expected)
+            except GovernanceError:
+                error = None  # see the serial leg above
             except Exception as exc:  # noqa: BLE001 - a crash is a finding
                 error = f"{type(exc).__name__}: {exc}"
             outcome.checks += 1
@@ -578,6 +599,17 @@ def minimize_case(
     changed = True
     while changed and spent < budget:
         changed = False
+        # Does the failure need governance at all?  Shrinking toward
+        # "no governance" first separates lifecycle bugs from engine
+        # bugs that merely surfaced under a governed run.
+        if case.deadline is not None or case.memory_budget is not None:
+            candidate = attempt(
+                replace(case, deadline=None, memory_budget=None), "no governance"
+            )
+            if candidate is not None:
+                case = candidate
+                changed = True
+                continue
         # Is the failure parallel-specific?  Serial-only repros first.
         if case.workers > 1:
             candidate = attempt(

@@ -23,15 +23,28 @@ def pytest_addoption(parser):
         default=False,
         help="run the deep differential-fuzz suite (tests marked 'fuzz')",
     )
+    parser.addoption(
+        "--run-chaos",
+        action="store_true",
+        default=False,
+        help="run the deep chaos sweep (tests marked 'chaos')",
+    )
 
 
 def pytest_collection_modifyitems(config, items):
-    if config.getoption("--run-fuzz"):
-        return
-    skip_fuzz = pytest.mark.skip(reason="deep fuzz run; use --run-fuzz (or make fuzz)")
+    skips = {}
+    if not config.getoption("--run-fuzz"):
+        skips["fuzz"] = pytest.mark.skip(
+            reason="deep fuzz run; use --run-fuzz (or make fuzz)"
+        )
+    if not config.getoption("--run-chaos"):
+        skips["chaos"] = pytest.mark.skip(
+            reason="deep chaos run; use --run-chaos (or make chaos-deep)"
+        )
     for item in items:
-        if "fuzz" in item.keywords:
-            item.add_marker(skip_fuzz)
+        for marker_name, skip in skips.items():
+            if marker_name in item.keywords:
+                item.add_marker(skip)
 
 
 @pytest.fixture(scope="session")

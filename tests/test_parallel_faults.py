@@ -122,15 +122,18 @@ class TestFaultDeterminism:
 
 
 class TestCrashDegradation:
-    def test_injected_crash_falls_back_to_serial_retry(self, data, query):
+    def test_injected_crash_retries_only_that_partition(self, data, query):
         table = load_table(data, Layout.ROW)
         serial = run_scan(table, query)
         info = {}
         result = parallel_query(
             table, query, workers=2, partitions=4, inject_crash=2, info=info
         )
-        assert info["mode"] == "fallback-serial"
+        # Supervision ladder: the healthy partitions' pool results are
+        # kept and only the crashed one is re-run inline.
+        assert info["mode"] == "parallel-degraded"
         assert "WorkerCrash" in info["fallback_reason"]
+        assert any("partition 2" in note for note in info["governance"])
         assert np.array_equal(result.positions, serial.positions)
         for name in serial.columns:
             assert np.array_equal(result.columns[name], serial.columns[name])
