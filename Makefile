@@ -2,7 +2,7 @@
 # PEP 660 editable builds; in offline environments without it, the
 # legacy `setup.py develop` path below installs identically.
 
-.PHONY: install test bench fuzz chaos chaos-deep scrub experiments experiments-md metrics overhead-gate parallel-bench all
+.PHONY: install test bench fuzz chaos chaos-deep scrub experiments experiments-md metrics overhead-gate parallel-bench workload-bench scheduler-test all
 
 install:
 	pip install -e . 2>/dev/null || python setup.py develop
@@ -56,3 +56,15 @@ parallel-bench:
 	python benchmarks/bench_parallel_scan.py --out parallel-artifacts
 
 all: install test bench
+
+# Concurrent-workload throughput artifact: 1/4/16/64 clients through the
+# cooperative scheduler, shared scans on vs off, with hard byte-identity
+# and modeled-I/O-reduction gates.
+workload-bench:
+	python benchmarks/bench_workload_throughput.py --out workload-artifacts
+
+# The scheduler test battery: equivalence vs serial, scan-sharing
+# properties, and chaos under concurrency.
+scheduler-test:
+	pytest tests/test_scheduler_equivalence.py tests/test_scan_sharing.py \
+		tests/test_scheduler_chaos.py tests/test_parallel_equivalence.py -q

@@ -50,8 +50,11 @@ from repro.engine import (
     ExecutionContext,
     Predicate,
     QueryContext,
+    QueryHandle,
     QueryResult,
     ScanQuery,
+    Scheduler,
+    WorkloadQuery,
     predicate_for_selectivity,
     run_scan,
 )
@@ -143,6 +146,10 @@ __all__ = [
     "ExecutionContext",
     "run_scan",
     "QueryResult",
+    # concurrent workloads
+    "Scheduler",
+    "WorkloadQuery",
+    "QueryHandle",
     # simulators
     "CostEvents",
     "CpuBreakdown",

@@ -28,8 +28,10 @@ from repro.engine.governance import (
     QueryContext,
     SupervisionPolicy,
 )
+from repro.engine.plan import ColumnScannerKind
 from repro.engine.predicate import Predicate, predicate_for_selectivity
 from repro.engine.query import ScanQuery
+from repro.engine.scheduler import QueryHandle, Scheduler, WorkloadQuery
 from repro.errors import ChecksumError, PlanError, StorageError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ScanMeasurement, measure_scan
@@ -66,6 +68,8 @@ class Database:
         #: instance's parallel queries and routes them straight to
         #: salvage-mode serial scans (see :mod:`repro.engine.governance`).
         self.breaker = CircuitBreaker()
+        #: Lazily-created persistent scheduler behind :meth:`submit`.
+        self._scheduler: Scheduler | None = None
 
     # --- DDL -------------------------------------------------------------
 
@@ -215,6 +219,121 @@ class Database:
                 # Not decomposable: run the plain serial scan instead.
                 pass
         return run_scan(target, scan, context, salvage=salvage)
+
+    # --- concurrent workloads ------------------------------------------------
+
+    def _resolve_target(
+        self,
+        table: str,
+        scan: ScanQuery,
+        layout: Layout | None,
+        use_views: bool,
+    ) -> Table:
+        """The materialized table a scan runs against (query() routing)."""
+        entry = self._entry(table)
+        if layout is not None:
+            return self.table(table, layout)
+        if use_views:
+            target, _source = entry.router.route(scan)
+            return target
+        return entry.tables[self.layouts[0]]
+
+    def submit(
+        self,
+        table: str,
+        select: tuple[str, ...],
+        predicates: tuple[Predicate, ...] = (),
+        layout: Layout | None = None,
+        use_views: bool = True,
+        salvage: bool = False,
+        timeout: float | None = None,
+        memory_budget: int | None = None,
+        cancellation: CancellationToken | None = None,
+        label: str = "",
+    ) -> QueryHandle:
+        """Enqueue a scan on the database's concurrent scheduler.
+
+        Returns a :class:`~repro.engine.scheduler.QueryHandle`
+        immediately; call ``handle.value()`` for the result (driving
+        the scheduler cooperatively) or submit more queries first so
+        co-running scans of the same table share one stream.  The
+        governance deadline starts now — queue time counts against
+        ``timeout``.
+        """
+        scan = ScanQuery(table, select=select, predicates=predicates)
+        target = self._resolve_target(table, scan, layout, use_views)
+        if self._scheduler is None:
+            self._scheduler = Scheduler()
+        return self._scheduler.submit(
+            target,
+            scan,
+            timeout=timeout,
+            memory_budget=memory_budget,
+            cancellation=cancellation,
+            salvage=salvage,
+            label=label or f"submit on {table}",
+        )
+
+    @property
+    def scheduler(self) -> Scheduler:
+        """The persistent scheduler behind :meth:`submit` (lazy)."""
+        if self._scheduler is None:
+            self._scheduler = Scheduler()
+        return self._scheduler
+
+    def run_workload(
+        self,
+        requests: list,
+        max_inflight: int = 8,
+        share_scans: bool = True,
+        layout: Layout | None = None,
+        use_views: bool = True,
+        column_scanner: ColumnScannerKind = ColumnScannerKind.PIPELINED,
+        trace: bool = False,
+        info: dict | None = None,
+    ) -> list[QueryHandle]:
+        """Run a batch of scans concurrently and return their handles.
+
+        Each element of ``requests`` is a
+        :class:`~repro.engine.scheduler.WorkloadQuery` (or a dict of
+        its fields).  A fresh scheduler executes the batch with
+        admission control (``max_inflight``), cooperative
+        time-slicing, and — with ``share_scans`` — shared circular
+        scans for co-running queries over the same table and column
+        set.  Handles come back in submission order; failed queries
+        carry their typed error on ``handle.error`` instead of
+        raising.  ``info``, when given, receives the scheduler's
+        workload stats (queue depth, share hit-rate, modeled I/O).
+        """
+        scheduler = Scheduler(
+            max_inflight=max_inflight,
+            share_scans=share_scans,
+            column_scanner=column_scanner,
+            trace=trace,
+        )
+        for request in requests:
+            if isinstance(request, dict):
+                request = WorkloadQuery(**request)
+            scan = ScanQuery(
+                request.table,
+                select=tuple(request.select),
+                predicates=tuple(request.predicates),
+            )
+            target = self._resolve_target(request.table, scan, layout, use_views)
+            scheduler.submit(
+                target,
+                scan,
+                timeout=request.timeout,
+                memory_budget=request.memory_budget,
+                salvage=request.salvage,
+                label=request.label or f"workload query on {request.table}",
+            )
+        scheduler.run()
+        if info is not None:
+            info.update(scheduler.stats())
+            if trace and scheduler.tracer is not None:
+                info["tracer"] = scheduler.tracer
+        return scheduler.handles()
 
     # --- observability -------------------------------------------------------
 

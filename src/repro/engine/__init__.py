@@ -24,6 +24,17 @@ from repro.engine.predicate import (
     predicate_for_selectivity,
 )
 from repro.engine.query import AggregateSpec, ScanQuery
+from repro.engine.scheduler import (
+    QueryHandle,
+    QueryState,
+    Scheduler,
+    WorkloadQuery,
+)
+from repro.engine.sharing import (
+    ScanShareManager,
+    SharedScanConsumer,
+    SharedScanStream,
+)
 
 __all__ = [
     "Block",
@@ -45,4 +56,11 @@ __all__ = [
     "execute_plan",
     "run_scan",
     "QueryResult",
+    "QueryHandle",
+    "QueryState",
+    "Scheduler",
+    "WorkloadQuery",
+    "ScanShareManager",
+    "SharedScanConsumer",
+    "SharedScanStream",
 ]

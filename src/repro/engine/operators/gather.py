@@ -15,8 +15,11 @@ merge itself is traced and cost-accounted like any other plan node:
   :class:`~repro.engine.operators.aggregate.HashAggregate` uses, so
   group order, dtypes, and values match the serial plan exactly.
 * :class:`MergeSortedRuns` — k-way heap merge of per-partition sorted
-  runs.  Ties break by run index, and each run is internally stable,
-  so the merged order equals the serial stable sort's.
+  runs.  Ties break by global position (Record ID): each run is
+  internally stable with positions ascending, so equal keys come out
+  in original row order — identical to the serial stable sort — even
+  when runs are delivered out of partition order (a shared-scan or
+  parallel interleaving must not be able to reorder ties).
 """
 
 from __future__ import annotations
@@ -147,10 +150,14 @@ class MergePartials(_AggregateBase):
 class MergeSortedRuns(Operator):
     """K-way merge of per-partition runs, each sorted on ``keys``.
 
-    Heap entries compare as ``(key values..., run index)``: runs are
-    fed in partition (= global row) order and each is internally
-    stable, so equal keys come out in original row order — identical to
-    the serial plan's chained stable sorts.
+    Heap entries compare as ``(key values..., global position)``: each
+    run is internally stable — equal keys appear in ascending Record-ID
+    order — and positions are globally unique, so ties across runs
+    resolve to original row order no matter how the runs were produced
+    or in what order they arrived.  That makes the merged output
+    byte-identical to the serial plan's chained stable sorts even when
+    partitions finish out of order (a run-index tie-break would be
+    wrong the moment runs are not delivered in partition order).
     """
 
     def __init__(
@@ -202,11 +209,13 @@ class MergeSortedRuns(Operator):
         key_columns = [
             [run.column(key).tolist() for key in self.keys] for run in runs
         ]
+        position_lists = [run.positions.tolist() for run in runs]
 
         def entry(run_index: int, row: int):
             cols = key_columns[run_index]
             return (
                 tuple(col[row] for col in cols),
+                position_lists[run_index][row],
                 run_index,
                 row,
             )
@@ -216,7 +225,7 @@ class MergeSortedRuns(Operator):
         order = np.empty(len(merged), dtype=np.int64)
         filled = 0
         while heap:
-            _key, run_index, row = heapq.heappop(heap)
+            _key, _position, run_index, row = heapq.heappop(heap)
             order[filled] = offsets[run_index] + row
             filled += 1
             if row + 1 < len(runs[run_index]):

@@ -1,0 +1,396 @@
+"""Concurrent multi-query scheduler: admission, time-slicing, sharing.
+
+The paper's experiments run one query at a time; a serving system runs
+many.  This module adds the workload layer on top of the existing
+serial operator engine without threads: queries are **cooperatively
+time-sliced** — the scheduler round-robins one operator ``next()``
+call (or, for shared scans, one stream segment) per active query per
+round, exactly the block-granular cooperation the governance layer
+already checkpoints on.
+
+* **Admission control** — at most ``max_inflight`` queries execute at
+  once; the rest wait in a FIFO queue.  A query's governance deadline
+  starts at *submit* time, so queue time counts against it and a query
+  whose deadline lapses while queued fails fast with
+  :class:`~repro.errors.QueryTimeout` without ever running.
+* **Shared scans** — co-running queries over the same table and column
+  set attach to one circular :class:`~repro.engine.sharing.
+  SharedScanStream` (I/O once, per-consumer CPU), mirroring the
+  Figure 11 competing-scans model (:func:`repro.iosim.sharing.
+  measure_competing_scans`).
+* **Isolation** — each query runs under its own
+  :class:`~repro.engine.context.ExecutionContext` and
+  :class:`~repro.engine.governance.QueryContext`; one query's timeout,
+  cancel, or decode failure detaches it without disturbing its
+  scan-share peers.
+* **Observability** — ``repro_scheduler_*`` metrics (queue depth,
+  admission waits, share hit-rate) and, with ``trace=True``, one span
+  track per query stitched into a single scheduler-level
+  :class:`~repro.obs.trace.SpanTracer`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable
+
+from repro.engine.blocks import concat_blocks
+from repro.engine.context import ExecutionContext
+from repro.engine.executor import QueryResult
+from repro.engine.governance import CancellationToken, QueryContext
+from repro.engine.plan import ColumnScannerKind, scan_plan
+from repro.engine.query import ScanQuery
+from repro.engine.sharing import ScanShareManager, SharedScanConsumer
+from repro.errors import EngineError, PlanError, ReproError
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import SpanTracer
+from repro.storage.table import Table
+
+__all__ = ["QueryHandle", "QueryState", "Scheduler", "WorkloadQuery"]
+
+
+class QueryState(Enum):
+    """Lifecycle of one submitted query."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One declarative request of a :meth:`repro.database.Database.
+    run_workload` batch."""
+
+    table: str
+    select: tuple[str, ...]
+    predicates: tuple = ()
+    timeout: float | None = None
+    memory_budget: int | None = None
+    salvage: bool = False
+    label: str = ""
+
+
+class QueryHandle:
+    """A submitted query: its state, timing, and (eventually) result."""
+
+    def __init__(
+        self,
+        index: int,
+        scheduler: "Scheduler",
+        table: Table,
+        query: ScanQuery,
+        governance: QueryContext,
+        salvage: bool,
+        column_scanner: ColumnScannerKind,
+    ):
+        self.index = index
+        self.table = table
+        self.query = query
+        self.governance = governance
+        self.salvage = salvage
+        self.column_scanner = column_scanner
+        self.state = QueryState.QUEUED
+        self.result: QueryResult | None = None
+        self.error: Exception | None = None
+        #: True when the query rode a shared scan stream.
+        self.shared = False
+        self.submitted_at = time.monotonic()
+        self.admitted_at: float | None = None
+        self.finished_at: float | None = None
+        self._scheduler = scheduler
+        self._tracer: SpanTracer | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.state in (QueryState.DONE, QueryState.FAILED)
+
+    @property
+    def queue_seconds(self) -> float | None:
+        """Time spent waiting for admission (None while still queued)."""
+        if self.admitted_at is None:
+            return None
+        return self.admitted_at - self.submitted_at
+
+    @property
+    def latency(self) -> float | None:
+        """Submit-to-finish wall seconds (queue time included)."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def cancel(self, reason: str = "cancelled by caller") -> None:
+        """Trip this query's cancellation token (cooperative)."""
+        self.governance.token.cancel(reason)
+
+    def wait(self) -> "QueryHandle":
+        """Drive the scheduler until this query finishes; never raises."""
+        self._scheduler.run_until(self)
+        return self
+
+    def value(self) -> QueryResult:
+        """The result, driving the scheduler as needed; raises on failure."""
+        self.wait()
+        if self.error is not None:
+            raise self.error
+        assert self.result is not None
+        return self.result
+
+
+class Scheduler:
+    """Cooperative multi-query executor over the serial engine.
+
+    Single-threaded by design: concurrency here means *interleaving*,
+    which is what makes every scheduled execution byte-reproducible and
+    lets the equivalence suite diff each query against its serial
+    oracle run.  Only plain scan queries (projection + conjunctive
+    predicates) are schedulable; plans with materializing operators go
+    through :meth:`repro.database.Database.query` as before.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int = 8,
+        share_scans: bool = True,
+        column_scanner: ColumnScannerKind = ColumnScannerKind.PIPELINED,
+        trace: bool = False,
+    ):
+        if max_inflight < 1:
+            raise PlanError(f"max_inflight must be >= 1: {max_inflight}")
+        self.max_inflight = max_inflight
+        self.share_scans = share_scans
+        self.column_scanner = column_scanner
+        self.manager = ScanShareManager()
+        #: Per-query span trees land here, one track per query index.
+        self.tracer: SpanTracer | None = SpanTracer() if trace else None
+        self._queue: deque[QueryHandle] = deque()
+        #: ``(handle, timeslice generator, plan)`` per admitted query.
+        self._active: list[tuple] = []
+        self._handles: list[QueryHandle] = []
+        self.completed = 0
+        self.failed = 0
+
+    # --- submission -------------------------------------------------------
+
+    def submit(
+        self,
+        table: Table,
+        query: ScanQuery,
+        timeout: float | None = None,
+        memory_budget: int | None = None,
+        cancellation: CancellationToken | None = None,
+        salvage: bool = False,
+        label: str = "",
+        column_scanner: ColumnScannerKind | None = None,
+        on_tick: Callable[[QueryContext], None] | None = None,
+    ) -> QueryHandle:
+        """Enqueue one scan query; returns immediately with a handle.
+
+        The governance deadline is anchored *now* — time spent waiting
+        in the admission queue counts against ``timeout``.
+        """
+        governance = QueryContext.start(
+            timeout=timeout,
+            memory_budget=memory_budget,
+            token=cancellation,
+            label=label or f"scheduled query #{len(self._handles)} on {query.table}",
+        )
+        governance.on_tick = on_tick
+        handle = QueryHandle(
+            index=len(self._handles),
+            scheduler=self,
+            table=table,
+            query=query,
+            governance=governance,
+            salvage=salvage,
+            column_scanner=column_scanner or self.column_scanner,
+        )
+        self._handles.append(handle)
+        self._queue.append(handle)
+        obs_metrics.SCHEDULER_SUBMITTED.inc()
+        obs_metrics.SCHEDULER_QUEUE_DEPTH.observe(len(self._queue))
+        return handle
+
+    # --- admission --------------------------------------------------------
+
+    def _admit(self) -> None:
+        while self._queue and len(self._active) < self.max_inflight:
+            handle = self._queue.popleft()
+            handle.admitted_at = time.monotonic()
+            obs_metrics.SCHEDULER_ADMISSION_WAIT.observe(handle.queue_seconds or 0.0)
+            try:
+                # Queue time is charged to the deadline: a query that
+                # waited past it fails here without running a page.
+                handle.governance.check("admission")
+                plan, context = self._build_plan(handle)
+            except ReproError as exc:
+                self._finish_failed(handle, exc)
+                continue
+            handle.state = QueryState.RUNNING
+            self._active.append(
+                (handle, self._execute(handle, plan, context), plan)
+            )
+
+    def _build_plan(self, handle: QueryHandle):
+        context = ExecutionContext(governance=handle.governance)
+        if handle.salvage:
+            context.strict_integrity = False
+        if self.tracer is not None:
+            context.tracer = SpanTracer()
+            handle._tracer = context.tracer
+        if self.share_scans:
+            plan = self.manager.acquire(handle.table, handle.query, context)
+            handle.shared = True
+        else:
+            plan = scan_plan(
+                context, handle.table, handle.query, handle.column_scanner
+            )
+        return plan, context
+
+    # --- execution --------------------------------------------------------
+
+    def _execute(self, handle: QueryHandle, plan, context: ExecutionContext):
+        """Generator: one yield per cooperative timeslice."""
+        plan.open()
+        blocks = []
+        if isinstance(plan, SharedScanConsumer):
+            # Segment-granular slicing: one stream pump per timeslice
+            # (a consumer may also finish passively off peers' pumps).
+            while plan.advance():
+                yield
+        while True:
+            block = plan.next()
+            if block is None:
+                break
+            blocks.append(block)
+            yield
+        plan.close()
+        merged = concat_blocks(blocks)
+        handle.result = QueryResult(
+            columns=merged.columns,
+            positions=merged.positions,
+            events=context.events,
+            corruption=context.corruption,
+        )
+
+    def poll(self) -> bool:
+        """One scheduler round: admit, then one timeslice per active query.
+
+        Returns True while any query is queued or running.
+        """
+        self._admit()
+        for entry in list(self._active):
+            handle, gen, plan = entry
+            try:
+                next(gen)
+            except StopIteration:
+                self._active.remove(entry)
+                self._finish_done(handle)
+            except ReproError as exc:
+                self._active.remove(entry)
+                self._abandon_plan(plan)
+                self._finish_failed(handle, exc)
+            self._admit()
+        return bool(self._active or self._queue)
+
+    def _abandon_plan(self, plan) -> None:
+        """Release a failed query's plan without touching share peers."""
+        if isinstance(plan, SharedScanConsumer):
+            self.manager.discard(plan)
+            return
+        try:
+            plan.close()
+        except ReproError:
+            pass
+
+    def run(self) -> None:
+        """Drive every submitted query to completion."""
+        while self.poll():
+            pass
+
+    def run_until(self, handle: QueryHandle) -> None:
+        """Drive the scheduler until ``handle`` finishes."""
+        while not handle.done:
+            if not self.poll() and not handle.done:
+                raise EngineError(
+                    f"scheduler idle with query #{handle.index} unfinished"
+                )
+
+    # --- completion -------------------------------------------------------
+
+    def _finish_done(self, handle: QueryHandle) -> None:
+        handle.state = QueryState.DONE
+        handle.finished_at = time.monotonic()
+        self.completed += 1
+        obs_metrics.SCHEDULER_COMPLETED.inc()
+        if self.tracer is not None:
+            self._attach_trace(handle)
+
+    def _finish_failed(self, handle: QueryHandle, exc: Exception) -> None:
+        handle.state = QueryState.FAILED
+        handle.error = exc
+        handle.finished_at = time.monotonic()
+        self.failed += 1
+        obs_metrics.SCHEDULER_FAILED.inc()
+        if self.tracer is not None:
+            self._attach_trace(handle)
+
+    def _attach_trace(self, handle: QueryHandle) -> None:
+        """Graft the query's span tree onto its own scheduler track."""
+        # The per-query tracer lives on the plan's context; reach it via
+        # the generator's closed-over context is gone by now, so it is
+        # recorded on the handle when the plan was built.
+        tracer = getattr(handle, "_tracer", None)
+        if tracer is None or not tracer.roots:
+            return
+        assert self.tracer is not None
+        self.tracer.attach_subtree(
+            tracer.roots,
+            tracer.slices,
+            track=handle.index,
+            epoch_ns=tracer.epoch_ns,
+        )
+
+    # --- reporting --------------------------------------------------------
+
+    def handles(self) -> list[QueryHandle]:
+        """Every handle ever submitted, in submission order."""
+        return list(self._handles)
+
+    def modeled_io_bytes(self) -> int:
+        """Total modeled I/O of the workload so far, shares counted once.
+
+        Shared streams account their page reads exactly once on the
+        stream (see :class:`~repro.engine.sharing.SharedScanStream`);
+        unshared queries each pay for their own pages.
+        """
+        total = self.manager.io_bytes()
+        for handle in self._handles:
+            if handle.shared or handle.result is None:
+                continue
+            total += handle.result.events.pages_touched * handle.table.page_size
+        return total
+
+    def stats(self) -> dict:
+        """Workload-level summary (feeds ``run_workload``'s info dict)."""
+        queue_waits = [
+            handle.queue_seconds
+            for handle in self._handles
+            if handle.queue_seconds is not None
+        ]
+        return {
+            "submitted": len(self._handles),
+            "completed": self.completed,
+            "failed": self.failed,
+            "queued": len(self._queue),
+            "running": len(self._active),
+            "max_inflight": self.max_inflight,
+            "share_scans": self.share_scans,
+            "max_queue_wait_s": max(queue_waits, default=0.0),
+            "modeled_io_bytes": self.modeled_io_bytes(),
+            **self.manager.stats(),
+        }

@@ -1,0 +1,598 @@
+"""Shared scans: many queries riding one circular table scan.
+
+Section 2.1.1 of the paper notes that concurrent queries over the same
+table can be served off a *single* reading stream (Teradata, RedBrick,
+QPipe); Figure 11 measures the competing-scans regime this avoids.  The
+engine-side implementation lives here:
+
+* :class:`SharedScanStream` — one circular pass over a table's needed
+  column set, advanced a *segment* (one driving page's worth of rows)
+  at a time.  Whoever pumps the stream drives it; every attached
+  consumer receives each decoded segment.  The stream's I/O (pages
+  touched, bytes read) is accounted **once** on the stream's own
+  :class:`~repro.cpusim.events.CostEvents`, mirroring the iosim
+  shared-stream model (:mod:`repro.iosim.sharing`), while decode and
+  predicate CPU is charged **per consumer** — each query still pays to
+  process the delivered values.
+* :class:`SharedScanConsumer` — an :class:`~repro.engine.operators.base.
+  Operator` view of one query's ride on the stream.  A consumer
+  attaches *mid-flight* at the stream's current position, rides to the
+  end, wraps around for the prefix it missed (circular scan), and
+  detaches after exactly one full pass.  Output is re-assembled into
+  global Record-ID order before emission, so the result is
+  byte-identical to a cold serial scan.
+* :class:`ScanShareManager` — the attach point: queries over the same
+  table, column set, and integrity mode join the in-progress stream;
+  everything else gets a fresh one.
+
+Salvage mode drops the union of corrupt-page row spans across the
+needed columns — exactly the rows a serial salvage scan would lose —
+and records the damage per consumer.  Under strict integrity a decode
+error fails the whole stream with the same typed error every rider
+would have hit scanning alone.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.cpusim.events import CostEvents
+from repro.engine.blocks import Block, concat_blocks, split_into_blocks
+from repro.engine.context import ExecutionContext
+from repro.engine.operators.base import SALVAGEABLE_ERRORS, Operator
+from repro.engine.query import ScanQuery
+from repro.errors import EngineError, PlanError
+from repro.obs import metrics as obs_metrics
+from repro.storage.table import ColumnTable, PaxTable, RowTable, Table
+
+__all__ = [
+    "ScanShareManager",
+    "SharedScanConsumer",
+    "SharedScanStream",
+    "share_key",
+]
+
+
+def share_key(table: Table, query: ScanQuery, strict_integrity: bool) -> tuple:
+    """The attach-compatibility key: same table, column set, integrity."""
+    return (id(table), frozenset(query.scan_attributes()), strict_integrity)
+
+
+class _SegmentData:
+    """One decoded segment: full-width values plus a validity mask."""
+
+    __slots__ = ("lo", "hi", "columns", "valid", "pages")
+
+    def __init__(self, lo, hi, columns, valid, pages):
+        self.lo = lo
+        self.hi = hi
+        #: attr name -> values for rows [lo, hi) (zero-filled where invalid).
+        self.columns = columns
+        #: Boolean mask over [lo, hi): False where a corrupt page's span fell.
+        self.valid = valid
+        #: ``(file_name, page_id, decoded, row_span, error)`` per page read.
+        self.pages = pages
+
+
+class SharedScanStream:
+    """One circular scan over ``attrs`` of ``table``, shared by consumers.
+
+    Segments are the driving file's pages: the row file's pages (row
+    and PAX layouts) or the pages of the column file with the *most*
+    pages (column layout — its pages bound the finest row spans, so
+    every other needed column is swept sequentially alongside it
+    through a small rolling page cache and each page still decodes once
+    per pass).
+    """
+
+    #: Rolling decoded-page cache entries kept per column file.
+    _CACHE_PAGES = 4
+
+    def __init__(self, table: Table, attrs: tuple[str, ...], strict_integrity: bool):
+        self.table = table
+        self.attrs = tuple(attrs)
+        self.strict_integrity = strict_integrity
+        #: I/O accounted once for the whole stream, not per consumer.
+        self.io_events = CostEvents()
+        self._consumers: list[SharedScanConsumer] = []
+        self._cursor = 0
+        self._failed: Exception | None = None
+        #: ``(file_key, page_id) -> (file_name, row_span, error)`` for pages
+        #: that failed to decode (salvage mode keeps going; consumers each
+        #: record the damage once).
+        self._corrupt: dict[tuple, tuple[str, int, Exception]] = {}
+        #: Per-column rolling cache of decoded pages (column layout).
+        self._page_cache: dict[str, dict[int, np.ndarray]] = {}
+        self._segments = self._build_segments()
+        #: Lifetime totals (survive consumer detach; feed scheduler stats).
+        self.total_attached = 0
+
+    # --- geometry ---------------------------------------------------------
+
+    def _build_segments(self) -> list[tuple[int, int, int]]:
+        """``(driving page id, row lo, row hi)`` per segment, in row order."""
+        table = self.table
+        segments: list[tuple[int, int, int]] = []
+        if isinstance(table, (RowTable, PaxTable)):
+            base = 0
+            for page_id in range(table.file.num_pages):
+                span = table.row_span_of_page(page_id)
+                if span > 0:
+                    segments.append((page_id, base, base + span))
+                base += span
+            return segments
+        if isinstance(table, ColumnTable):
+            driver = self._driving_column()
+            if driver is None:
+                return segments
+            column_file = table.column_file(driver)
+            for page_id in range(column_file.file.num_pages):
+                lo = column_file.first_row_of_page(page_id)
+                span = column_file.row_span_of_page(page_id, table.num_rows)
+                if span > 0:
+                    segments.append((page_id, lo, lo + span))
+            return segments
+        raise PlanError(f"unsupported table type for sharing: {type(table).__name__}")
+
+    def _driving_column(self) -> str | None:
+        """The needed column with the most pages (finest segments)."""
+        table = self.table
+        assert isinstance(table, ColumnTable)
+        best: str | None = None
+        best_pages = -1
+        for name in sorted(self.attrs):
+            pages = table.column_file(name).file.num_pages
+            if pages > best_pages:
+                best, best_pages = name, pages
+        return best
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    @property
+    def cursor(self) -> int:
+        """The segment index the stream will serve next."""
+        return self._cursor
+
+    @property
+    def consumers(self) -> tuple:
+        return tuple(self._consumers)
+
+    @property
+    def failed(self) -> Exception | None:
+        return self._failed
+
+    # --- attach / detach --------------------------------------------------
+
+    def attach(self, consumer: "SharedScanConsumer") -> set[int]:
+        """Join the stream mid-flight; one full circular pass serves you."""
+        if self._failed is not None:
+            raise self._failed
+        self._consumers.append(consumer)
+        self.total_attached += 1
+        return set(range(len(self._segments)))
+
+    def detach(self, consumer: "SharedScanConsumer") -> None:
+        """Leave the stream (end of pass, failure, or cancellation)."""
+        if consumer in self._consumers:
+            self._consumers.remove(consumer)
+
+    @property
+    def idle(self) -> bool:
+        """True when no attached consumer still needs a segment."""
+        return not any(c._remaining for c in self._consumers)
+
+    # --- the circular pump ------------------------------------------------
+
+    def step(self) -> bool:
+        """Decode and deliver the next needed segment (circularly).
+
+        Returns False when no attached consumer needs anything.  Raises
+        the stream's terminal error (strict-integrity decode failure)
+        to whoever pumps after it tripped.
+        """
+        if self._failed is not None:
+            raise self._failed
+        total = len(self._segments)
+        if total == 0 or self.idle:
+            return False
+        for offset in range(total):
+            index = (self._cursor + offset) % total
+            takers = [c for c in self._consumers if index in c._remaining]
+            if not takers:
+                continue
+            try:
+                data = self._decode_segment(index)
+            except SALVAGEABLE_ERRORS as exc:
+                # Strict integrity: the whole stream dies with the typed
+                # error every rider would have hit scanning alone.
+                self._failed = exc
+                raise
+            self._cursor = (index + 1) % total
+            for consumer in takers:
+                consumer._receive(index, data)
+            return True
+        return False
+
+    # --- decoding ---------------------------------------------------------
+
+    def _decode_segment(self, index: int) -> _SegmentData:
+        table = self.table
+        page_id, lo, hi = self._segments[index]
+        if isinstance(table, (RowTable, PaxTable)):
+            return self._decode_paged_segment(table, page_id, lo, hi)
+        assert isinstance(table, ColumnTable)
+        return self._decode_column_segment(table, lo, hi)
+
+    def _read_page(self, file, page_id: int, file_key: str, row_span: int):
+        """One accounted page read (+decode by the caller); None if corrupt.
+
+        The I/O is charged to the stream exactly once per page per pass;
+        a corrupt page is remembered so re-deliveries don't re-read it.
+        """
+        key = (file_key, page_id)
+        if key in self._corrupt:
+            return None
+        self.io_events.pages_touched += 1
+        self.io_events.bytes_read += self.table.page_size
+        obs_metrics.SCHEDULER_SHARED_PAGES.inc()
+        return file.read_page(page_id)
+
+    def _record_corrupt(
+        self, file_key: str, file_name: str, page_id: int, row_span: int, exc
+    ) -> None:
+        if self.strict_integrity:
+            raise exc
+        self._corrupt[(file_key, page_id)] = (file_name, row_span, exc)
+
+    def _decode_paged_segment(self, table, page_id: int, lo: int, hi: int):
+        """Row/PAX: one segment is exactly one page of the row file."""
+        span = hi - lo
+        file_key = table.file.name
+        pages: list[tuple] = []
+        raw = self._read_page(table.file, page_id, file_key, span)
+        decoded: dict[str, np.ndarray] | None = None
+        if raw is not None:
+            try:
+                if isinstance(table, RowTable):
+                    _pid, _count, columns = table.page_codec.decode_columns(raw)
+                    decoded = {name: columns[name] for name in self.attrs}
+                else:
+                    decoded = {}
+                    for name in self.attrs:
+                        _pid, _count, values = table.page_codec.decode_attribute(
+                            raw, name
+                        )
+                        decoded[name] = values
+            except SALVAGEABLE_ERRORS as exc:
+                self._record_corrupt(file_key, table.file.name, page_id, span, exc)
+                decoded = None
+        if decoded is None:
+            _name, row_span, error = self._corrupt[(file_key, page_id)]
+            pages.append((table.file.name, page_id, False, row_span, error))
+            columns = {
+                name: np.zeros(
+                    span, dtype=table.schema.attribute(name).attr_type.numpy_dtype()
+                )
+                for name in self.attrs
+            }
+            return _SegmentData(lo, hi, columns, np.zeros(span, dtype=bool), pages)
+        pages.append((table.file.name, page_id, True, span, None))
+        return _SegmentData(
+            lo,
+            hi,
+            {name: values[:span] for name, values in decoded.items()},
+            np.ones(span, dtype=bool),
+            pages,
+        )
+
+    def _decode_column_segment(self, table: ColumnTable, lo: int, hi: int):
+        """Column layout: assemble [lo, hi) of every needed column."""
+        span = hi - lo
+        valid = np.ones(span, dtype=bool)
+        columns: dict[str, np.ndarray] = {}
+        pages: list[tuple] = []
+        for name in self.attrs:
+            column_file = table.column_file(name)
+            dtype = table.schema.attribute(name).attr_type.numpy_dtype()
+            out = np.zeros(span, dtype=dtype)
+            page_id = int(
+                column_file.page_of_positions(np.asarray([lo], dtype=np.int64))[0]
+            )
+            row = lo
+            while row < hi:
+                if page_id >= column_file.file.num_pages:
+                    raise EngineError(
+                        f"column {name!r} ran out of pages at row {row} of "
+                        f"[{lo}, {hi})"
+                    )
+                page_first = column_file.first_row_of_page(page_id)
+                page_span = column_file.row_span_of_page(page_id, table.num_rows)
+                page_end = page_first + page_span
+                take_lo = max(row, page_first)
+                take_hi = min(hi, page_end)
+                if take_hi <= row:
+                    page_id += 1
+                    continue
+                values = self._column_page_values(column_file, page_id, page_span)
+                if values is None:
+                    _fname, row_span, error = self._corrupt[
+                        (column_file.file.name, page_id)
+                    ]
+                    pages.append(
+                        (column_file.file.name, page_id, False, row_span, error)
+                    )
+                    valid[take_lo - lo : take_hi - lo] = False
+                else:
+                    pages.append(
+                        (column_file.file.name, page_id, True, page_span, None)
+                    )
+                    out[take_lo - lo : take_hi - lo] = values[
+                        take_lo - page_first : take_hi - page_first
+                    ]
+                row = take_hi
+                page_id += 1
+            columns[name] = out
+        return _SegmentData(lo, hi, columns, valid, pages)
+
+    def _column_page_values(self, column_file, page_id: int, row_span: int):
+        """One column page's values, through the rolling per-pass cache."""
+        cache = self._page_cache.setdefault(column_file.file.name, {})
+        if page_id in cache:
+            return cache[page_id]
+        raw = self._read_page(
+            column_file.file, page_id, column_file.file.name, row_span
+        )
+        if raw is None:
+            return None
+        try:
+            _pid, values = column_file.page_codec.decode(raw)
+        except SALVAGEABLE_ERRORS as exc:
+            self._record_corrupt(
+                column_file.file.name,
+                column_file.file.name,
+                page_id,
+                row_span,
+                exc,
+            )
+            return None
+        while len(cache) >= self._CACHE_PAGES:
+            cache.pop(next(iter(cache)))
+        cache[page_id] = values
+        return values
+
+
+class SharedScanConsumer(Operator):
+    """One query's ride on a :class:`SharedScanStream`.
+
+    Applies its *own* predicates and projection to every delivered
+    segment (per-consumer CPU), buffers qualifying rows keyed by
+    segment index, and — once its full circular pass completes — emits
+    them re-assembled into global Record-ID order, split into
+    engine-sized blocks.  Byte-identical to a cold serial scan of the
+    same query.
+    """
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        share: SharedScanStream,
+        query: ScanQuery,
+    ):
+        super().__init__(context)
+        query.validate_against(share.table.schema)
+        missing = set(query.scan_attributes()) - set(share.attrs)
+        if missing:
+            raise PlanError(
+                f"shared stream lacks attributes {sorted(missing)} "
+                f"(carries {sorted(share.attrs)})"
+            )
+        self.share = share
+        self.query = query
+        self.select = tuple(query.select)
+        self.predicates = tuple(query.predicates)
+        #: Segment the stream was at when we attached (for EXPLAIN).
+        self.attach_cursor = share.cursor
+        self._remaining = share.attach(self)
+        self._buffered: list[tuple[int, Block]] = []
+        self._output: deque[Block] = deque()
+        self._finalized = False
+        self._seen_pages: set[tuple[str, int]] = set()
+        self._schema_compressed = any(
+            attr.spec.is_compressed for attr in share.table.schema
+        )
+
+    def describe(self) -> str:
+        detail = (
+            f"{self.share.table.schema.name}: {', '.join(self.select)} | "
+            f"shared, attached@segment {self.attach_cursor}/"
+            f"{self.share.num_segments}"
+        )
+        if self.predicates:
+            detail += f" | {len(self.predicates)} predicate(s)"
+        return detail
+
+    @property
+    def finished(self) -> bool:
+        """True once this consumer's full pass is assembled."""
+        return self._finalized
+
+    # --- stream side ------------------------------------------------------
+
+    def _receive(self, index: int, data: _SegmentData) -> None:
+        """Process one delivered segment (called by the stream)."""
+        self._remaining.discard(index)
+        events = self.events
+        span = data.hi - data.lo
+        corruption = self.context.corruption
+        for file_name, page_id, decoded, row_span, error in data.pages:
+            key = (file_name, page_id)
+            if key in self._seen_pages:
+                continue
+            self._seen_pages.add(key)
+            if decoded:
+                corruption.pages_scanned += 1
+            else:
+                obs_metrics.PAGES_SALVAGED.inc()
+                corruption.record(file_name, page_id, row_span, error)
+
+        mask = data.valid.copy()
+        candidates = int(np.count_nonzero(mask))
+        events.values_examined += span
+        decoded_attrs: set[str] = set()
+        for predicate in self.predicates:
+            events.predicate_evals += candidates
+            events.predicate_eval_bytes += (
+                candidates
+                * self.share.table.schema.attribute(predicate.attr).width
+            )
+            self._count_decodes(predicate.attr, span, decoded_attrs)
+            mask &= predicate.evaluate(data.columns[predicate.attr])
+            candidates = int(np.count_nonzero(mask))
+
+        qualified = candidates
+        if not qualified:
+            return
+        for name in self.select:
+            self._count_decodes(name, span, decoded_attrs)
+        selected_width = sum(
+            self.share.table.schema.attribute(name).width for name in self.select
+        )
+        events.values_copied += qualified * len(self.select)
+        events.bytes_copied += qualified * selected_width
+        positions = data.lo + np.flatnonzero(mask)
+        block = Block(
+            columns={name: data.columns[name][mask] for name in self.select},
+            positions=positions,
+        )
+        self._buffered.append((index, block))
+
+    def _count_decodes(self, attr_name: str, span: int, decoded_attrs: set) -> None:
+        """Per-consumer decode CPU: each rider pays to process values."""
+        if not self._schema_compressed or attr_name in decoded_attrs:
+            return
+        spec = self.share.table.schema.attribute(attr_name).spec
+        if not spec.is_compressed:
+            return
+        decoded_attrs.add(attr_name)
+        self.events.count_decode(spec.kind, span)
+
+    # --- operator side ----------------------------------------------------
+
+    def advance(self) -> bool:
+        """One cooperative timeslice: pump the stream one segment.
+
+        Returns True while more pumping is needed for *this* consumer;
+        once its pass is complete the output is finalized and False is
+        returned (drain the blocks with ``next()``).  Deliveries made
+        while a *peer* pumps shrink ``_remaining`` too, so a consumer
+        may finish without ever pumping itself.
+        """
+        if self._finalized:
+            return False
+        if self.share.failed is not None:
+            raise self.share.failed
+        self._governance_check()
+        if not self._remaining:
+            self._finalize()
+            return False
+        if not self.share.step():
+            raise EngineError(
+                "shared scan stream stalled with segments outstanding"
+            )
+        if not self._remaining:
+            self._finalize()
+            return False
+        return True
+
+    def _finalize(self) -> None:
+        self._finalized = True
+        self.share.detach(self)
+        self._buffered.sort(key=lambda pair: pair[0])
+        blocks = [block for _index, block in self._buffered]
+        self._buffered = []
+        merged = concat_blocks(blocks)
+        if not len(merged):
+            self._output.append(self._empty_block())
+            return
+        self._output.extend(split_into_blocks(merged, self.context.block_size))
+
+    def _empty_block(self) -> Block:
+        columns = {
+            name: np.zeros(
+                0,
+                dtype=self.share.table.schema.attribute(
+                    name
+                ).attr_type.numpy_dtype(),
+            )
+            for name in self.select
+        }
+        return Block(columns=columns, positions=np.zeros(0, dtype=np.int64))
+
+    def _next(self) -> Block | None:
+        while not self._finalized:
+            self.advance()
+        if not self._output:
+            return None
+        return self._output.popleft()
+
+    def _close(self) -> None:
+        self.share.detach(self)
+
+
+class ScanShareManager:
+    """The attach point: route each query to a live compatible stream.
+
+    Streams are keyed by (table identity, needed column set, integrity
+    mode); a query matching a stream that still has riders attaches to
+    it mid-flight (share *hit*), anything else starts a fresh stream
+    (share *miss*).  Streams with no riders left are dropped — their
+    I/O totals are kept for workload-level accounting.
+    """
+
+    def __init__(self) -> None:
+        self._streams: dict[tuple, SharedScanStream] = {}
+        self._history: list[SharedScanStream] = []
+        self.hits = 0
+        self.misses = 0
+
+    def acquire(
+        self, table: Table, query: ScanQuery, context: ExecutionContext
+    ) -> SharedScanConsumer:
+        """A consumer for ``query``, shared with compatible live scans."""
+        key = share_key(table, query, context.strict_integrity)
+        stream = self._streams.get(key)
+        if stream is not None and stream.failed is None and stream.consumers:
+            self.hits += 1
+            obs_metrics.SCHEDULER_SHARE_HITS.inc()
+        else:
+            stream = SharedScanStream(
+                table, query.scan_attributes(), context.strict_integrity
+            )
+            self._streams[key] = stream
+            self._history.append(stream)
+            self.misses += 1
+            obs_metrics.SCHEDULER_SHARE_MISSES.inc()
+        return SharedScanConsumer(context, stream, query)
+
+    def discard(self, consumer: SharedScanConsumer) -> None:
+        """Detach a failed/cancelled rider without touching its peers."""
+        consumer.share.detach(consumer)
+
+    def io_bytes(self) -> int:
+        """Bytes read by every stream ever created, each counted once."""
+        return sum(stream.io_events.bytes_read for stream in self._history)
+
+    def io_pages(self) -> int:
+        return sum(stream.io_events.pages_touched for stream in self._history)
+
+    def stats(self) -> dict:
+        return {
+            "share_hits": self.hits,
+            "share_misses": self.misses,
+            "shared_io_bytes": self.io_bytes(),
+            "shared_io_pages": self.io_pages(),
+        }

@@ -14,9 +14,11 @@ casing.
 
 from repro.iosim.request import FileExtent, IoRequest
 from repro.iosim.sharing import (
+    CompetingScansMeasurement,
     SharedScanOutcome,
     SharedScanQuery,
     SharedScanSimulator,
+    measure_competing_scans,
 )
 from repro.iosim.sim import DiskArraySim, StreamStats
 from repro.iosim.streams import ScanStream, SubmissionPolicy
@@ -32,5 +34,7 @@ __all__ = [
     "SharedScanSimulator",
     "SharedScanQuery",
     "SharedScanOutcome",
+    "CompetingScansMeasurement",
+    "measure_competing_scans",
     "competing_row_scan",
 ]

@@ -302,6 +302,39 @@ GOVERNANCE_STALLS = REGISTRY.counter(
     "repro_governance_stalls_total",
     "Workers declared stalled after missing their heartbeat window.",
 )
+SCHEDULER_SUBMITTED = REGISTRY.counter(
+    "repro_scheduler_submitted_total",
+    "Queries submitted to the concurrent scheduler.",
+)
+SCHEDULER_COMPLETED = REGISTRY.counter(
+    "repro_scheduler_completed_total",
+    "Scheduled queries that completed with a result.",
+)
+SCHEDULER_FAILED = REGISTRY.counter(
+    "repro_scheduler_failed_total",
+    "Scheduled queries that finished with a typed error.",
+)
+SCHEDULER_QUEUE_DEPTH = REGISTRY.histogram(
+    "repro_scheduler_queue_depth",
+    "Admission-queue depth observed at each submit.",
+    buckets=exponential_buckets(1, 2.0, 11),
+)
+SCHEDULER_ADMISSION_WAIT = REGISTRY.histogram(
+    "repro_scheduler_admission_wait_seconds",
+    "Queue time between submit and admission (counted in the deadline).",
+)
+SCHEDULER_SHARE_HITS = REGISTRY.counter(
+    "repro_scheduler_share_hits_total",
+    "Queries that attached to an in-progress shared scan.",
+)
+SCHEDULER_SHARE_MISSES = REGISTRY.counter(
+    "repro_scheduler_share_misses_total",
+    "Queries that had to start a fresh scan stream.",
+)
+SCHEDULER_SHARED_PAGES = REGISTRY.counter(
+    "repro_scheduler_shared_pages_total",
+    "Pages read by shared scan streams (each counted once per pass).",
+)
 
 
 # --- exposition CLI -------------------------------------------------------

@@ -38,7 +38,7 @@ from repro.engine.executor import QueryResult, execute_plan
 from repro.engine.governance import QueryContext, SupervisionPolicy
 from repro.engine.operators.limit import Limit, TopN
 from repro.engine.plan import aggregate_plan, scan_plan
-from repro.errors import GovernanceError
+from repro.errors import GovernanceError, ReproError
 from repro.storage.pagefile import PagedFile
 from repro.storage.table import ColumnTable, Table
 from repro.testing.genquery import GeneratedCase, generate_case
@@ -46,13 +46,19 @@ from repro.testing.harness import CONFIGS, ScanConfig, _load, _oracle_expected, 
 
 __all__ = [
     "ChaosCase",
+    "ChaosKill",
     "ChaosOutcome",
     "ChaosReport",
     "SlowPagedFile",
+    "WorkloadChaosCase",
+    "WorkloadChaosOutcome",
+    "WorkloadChaosQuery",
     "allowed_seconds",
     "generate_chaos_case",
+    "generate_workload_chaos_case",
     "run_chaos_case",
     "run_chaos_suite",
+    "run_workload_chaos_case",
     "slow_down_table",
 ]
 
@@ -399,6 +405,264 @@ def run_chaos_case(chaos: ChaosCase) -> ChaosOutcome:
         outcome.violations.append(
             f"deadline slack exceeded: ran {outcome.elapsed:.2f}s, "
             f"allowed {bound:.2f}s"
+        )
+    return outcome
+
+
+# --- chaos under concurrency ----------------------------------------------------
+
+
+class ChaosKill(ReproError):
+    """Typed injected failure standing in for a killed query.
+
+    Raised out of the victim's governance tick hook, it rides the same
+    typed-error path a real mid-query fault would: the scheduler
+    records it on the victim's handle and detaches the victim from any
+    scan share — peers must be untouched.
+    """
+
+
+@dataclass(frozen=True)
+class WorkloadChaosQuery:
+    """One query of a concurrent chaos batch, possibly a victim."""
+
+    select: tuple[str, ...]
+    #: Predicate selectivity (None: no predicate).
+    selectivity: float | None
+    timeout: float | None = None
+    #: ``None`` (healthy peer) or one of kill/cancel/deadline/stall.
+    injection: str | None = None
+    inject_after_ticks: int = 0
+    stall_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class WorkloadChaosCase:
+    """A seeded concurrent batch with per-query fault injections."""
+
+    seed: int
+    num_rows: int
+    layout_name: str  # a CONFIGS name: one of the four architectures
+    share_scans: bool
+    max_inflight: int
+    queries: tuple[WorkloadChaosQuery, ...]
+
+    def describe(self) -> str:
+        lines = [
+            f"workload-chaos seed={self.seed} rows={self.num_rows} "
+            f"config={self.layout_name} share={self.share_scans} "
+            f"inflight={self.max_inflight}"
+        ]
+        for index, query in enumerate(self.queries):
+            what = query.injection or "healthy"
+            lines.append(
+                f"  q{index}: select={','.join(query.select)} "
+                f"sel={query.selectivity} timeout={query.timeout} [{what}]"
+            )
+        return "\n".join(lines)
+
+
+_WORKLOAD_ATTRS = (
+    "O_ORDERKEY",
+    "O_CUSTKEY",
+    "O_TOTALPRICE",
+    "O_SHIPPRIORITY",
+    "O_ORDERDATE",
+)
+
+
+def generate_workload_chaos_case(seed: int) -> WorkloadChaosCase:
+    """The concurrent chaos scenario for one seed (pure in the seed)."""
+    rng = random.Random(f"workload-chaos-{seed}")
+    num_rows = rng.randint(200, 600)
+    config_name = rng.choice([config.name for config in CONFIGS])
+    num_queries = rng.randint(4, 8)
+    # 1-3 victims, always leaving at least one healthy peer to assert
+    # share isolation against.
+    victims = set(
+        rng.sample(range(num_queries), rng.randint(1, min(3, num_queries - 1)))
+    )
+    queries = []
+    for index in range(num_queries):
+        num_select = rng.randint(1, 3)
+        select = tuple(rng.sample(_WORKLOAD_ATTRS, num_select))
+        selectivity = rng.choice([None, 0.1, 0.3, 0.6, 0.9])
+        if index not in victims:
+            queries.append(
+                WorkloadChaosQuery(
+                    select=select, selectivity=selectivity, timeout=None
+                )
+            )
+            continue
+        injection = rng.choice(["kill", "cancel", "deadline", "stall"])
+        queries.append(
+            WorkloadChaosQuery(
+                select=select,
+                selectivity=selectivity,
+                # Tight-deadline victims race the clock; others get none
+                # so a slow box cannot fail the wrong query.
+                timeout=rng.choice([0.0, 0.001]) if injection == "deadline" else None,
+                injection=injection,
+                inject_after_ticks=rng.randint(1, 12),
+                stall_s=0.02 if injection == "stall" else 0.0,
+            )
+        )
+    return WorkloadChaosCase(
+        seed=seed,
+        num_rows=num_rows,
+        layout_name=config_name,
+        share_scans=rng.random() < 0.5,
+        max_inflight=rng.randint(2, num_queries),
+        queries=tuple(queries),
+    )
+
+
+def _workload_hook(query: WorkloadChaosQuery):
+    """Per-victim tick hook firing its injection exactly once."""
+    if query.injection in (None, "deadline"):
+        return None
+    fired = [False]
+
+    def hook(governance: QueryContext) -> None:
+        if fired[0] or governance.ticks < query.inject_after_ticks:
+            return
+        fired[0] = True
+        if query.injection == "kill":
+            raise ChaosKill(
+                f"chaos kill at tick {governance.ticks} ({governance.label})"
+            )
+        if query.injection == "cancel":
+            governance.token.cancel(f"chaos cancel at tick {governance.ticks}")
+        elif query.injection == "stall":
+            time.sleep(query.stall_s)
+            governance.note(f"chaos stall of {query.stall_s}s")
+
+    return hook
+
+
+@dataclass
+class WorkloadChaosOutcome:
+    """What one concurrent chaos batch did, checked per query."""
+
+    seed: int
+    #: Per-query: ``"completed"`` or the raised error's class name.
+    states: list[str] = field(default_factory=list)
+    violations: list[str] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def run_workload_chaos_case(case: WorkloadChaosCase) -> WorkloadChaosOutcome:
+    """Run one concurrent batch; check the invariant per query.
+
+    Every query must end in *correct result XOR typed error*; every
+    query with no injection of its own must complete byte-identically
+    to its serial oracle run — a victim's kill, cancel, or deadline
+    may never corrupt or cancel its scan-share peers.
+    """
+    import numpy as np
+
+    from repro.data.tpch import generate_orders
+    from repro.engine.predicate import predicate_for_selectivity
+    from repro.engine.query import ScanQuery
+    from repro.engine.scheduler import Scheduler
+    from repro.engine.executor import run_scan
+
+    outcome = WorkloadChaosOutcome(seed=case.seed)
+    config = next(c for c in CONFIGS if c.name == case.layout_name)
+    data = generate_orders(case.num_rows, seed=case.seed % 1_000 + 1)
+    from repro.storage.loader import load_table
+
+    table = load_table(data, config.layout)
+    scans = []
+    for query in case.queries:
+        predicates = ()
+        if query.selectivity is not None:
+            attr = query.select[0]
+            predicates = (
+                predicate_for_selectivity(
+                    attr, data.column(attr), query.selectivity
+                ),
+            )
+        scans.append(
+            ScanQuery("ORDERS", select=query.select, predicates=predicates)
+        )
+    expected = [
+        run_scan(load_table(data, config.layout), scan, column_scanner=config.column_scanner)
+        for scan in scans
+    ]
+
+    scheduler = Scheduler(
+        max_inflight=case.max_inflight,
+        share_scans=case.share_scans,
+        column_scanner=config.column_scanner,
+    )
+    started = time.monotonic()
+    handles = [
+        scheduler.submit(
+            table,
+            scan,
+            timeout=query.timeout,
+            label=f"workload-chaos seed {case.seed} q{index}",
+            on_tick=_workload_hook(query),
+        )
+        for index, (query, scan) in enumerate(zip(case.queries, scans))
+    ]
+    try:
+        scheduler.run()
+    except Exception as exc:  # noqa: BLE001 - an escape is a finding
+        outcome.violations.append(
+            f"untyped failure escaped the scheduler: {type(exc).__name__}: {exc}"
+        )
+    outcome.elapsed = time.monotonic() - started
+
+    for index, (query, handle, want) in enumerate(
+        zip(case.queries, handles, expected)
+    ):
+        if handle.error is not None:
+            outcome.states.append(type(handle.error).__name__)
+            if not isinstance(handle.error, (GovernanceError, ChaosKill)):
+                outcome.violations.append(
+                    f"q{index}: untyped error {type(handle.error).__name__}: "
+                    f"{handle.error}"
+                )
+            if query.injection is None:
+                outcome.violations.append(
+                    f"q{index}: healthy peer failed with "
+                    f"{type(handle.error).__name__} — a victim's fault leaked"
+                )
+            continue
+        outcome.states.append("completed")
+        got = handle.result
+        if got is None:
+            outcome.violations.append(f"q{index}: no result and no error")
+            continue
+        if not np.array_equal(got.positions, want.positions):
+            outcome.violations.append(
+                f"q{index}: positions differ from the serial oracle run"
+            )
+            continue
+        for name in want.columns:
+            if name not in got.columns or not np.array_equal(
+                got.columns[name], want.columns[name]
+            ):
+                outcome.violations.append(
+                    f"q{index}: column {name!r} differs from the serial run"
+                )
+                break
+            if got.columns[name].dtype != want.columns[name].dtype:
+                outcome.violations.append(
+                    f"q{index}: column {name!r} dtype drifted"
+                )
+                break
+
+    bound = UNGOVERNED_BOUND_SECONDS + BASE_GRACE_SECONDS
+    if outcome.elapsed > bound:
+        outcome.violations.append(
+            f"workload ran {outcome.elapsed:.2f}s, allowed {bound:.2f}s"
         )
     return outcome
 

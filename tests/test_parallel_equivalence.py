@@ -404,3 +404,79 @@ class TestApiConstraints:
         info = {}
         parallel_query(tables["row"], query, workers=1, partitions=3, info=info)
         assert info["mode"] == "inline"
+
+
+class TestMergeStability:
+    """MergeSortedRuns must be stable on duplicate keys — regression.
+
+    The merge used to tie-break by run index, which is only correct
+    when runs arrive in partition order; a shared-scan or out-of-order
+    delivery would silently reorder equal keys.  Ties now break by
+    global position (Record ID), so the merged order is a property of
+    the data alone.
+    """
+
+    @staticmethod
+    def _run(positions, keys, payload):
+        from repro.engine.blocks import Block
+
+        return Block(
+            columns={
+                "K": np.asarray(keys, dtype=np.int64),
+                "V": np.asarray(payload, dtype=np.int64),
+            },
+            positions=np.asarray(positions, dtype=np.int64),
+        )
+
+    def _merge(self, runs):
+        from repro.engine.operators.gather import MergeSortedRuns
+
+        op = MergeSortedRuns(ExecutionContext(), runs, keys=("K",))
+        blocks = op.drain()
+        from repro.engine.blocks import concat_blocks
+
+        return concat_blocks(blocks)
+
+    def test_duplicate_keys_come_out_in_record_id_order(self):
+        # Two runs, all keys equal: output must be position order.
+        a = self._run([0, 2, 4], [7, 7, 7], [10, 12, 14])
+        b = self._run([1, 3, 5], [7, 7, 7], [11, 13, 15])
+        merged = self._merge([a, b])
+        assert merged.positions.tolist() == [0, 1, 2, 3, 4, 5]
+        assert merged.column("V").tolist() == [10, 11, 12, 13, 14, 15]
+
+    def test_order_independent_of_run_arrival(self):
+        # Delivering the runs in the opposite order must not change
+        # anything — the old run-index tie-break failed exactly here.
+        a = self._run([0, 2, 4], [3, 7, 7], [10, 12, 14])
+        b = self._run([1, 3, 5], [3, 3, 7], [11, 13, 15])
+        forward = self._merge([a, b])
+        backward = self._merge([b, a])
+        assert forward.positions.tolist() == backward.positions.tolist()
+        assert forward.column("V").tolist() == backward.column("V").tolist()
+        # And both equal the stable sort of the concatenation.
+        assert forward.positions.tolist() == [0, 1, 3, 2, 4, 5]
+
+    def test_end_to_end_low_cardinality_order_by(self, tables, query):
+        # O_SHIPPRIORITY has very few distinct values: the parallel
+        # order-by is all ties, so stability is the whole answer.
+        table = tables["column"]
+        scan = ScanQuery(
+            "ORDERS", select=("O_ORDERKEY", "O_SHIPPRIORITY"), predicates=()
+        )
+        context = ExecutionContext()
+        plan = SortOperator(
+            context,
+            scan_plan(context, table, scan, ColumnScannerKind.PIPELINED),
+            key="O_SHIPPRIORITY",
+        )
+        serial = execute_plan(plan)
+        for partitions in PARTITION_COUNTS:
+            parallel = parallel_query(
+                table,
+                scan,
+                workers=2,
+                partitions=partitions,
+                order_by=("O_SHIPPRIORITY",),
+            )
+            assert_results_equal(parallel, serial, partitions)

@@ -1,0 +1,331 @@
+"""Property tests for shared-scan attach/detach (circular scans).
+
+A consumer may attach to a :class:`~repro.engine.sharing.
+SharedScanStream` at *any* segment — it rides to the end of the pass,
+wraps around, and detaches after one full circle.  These tests drive
+the attach point over every segment (and seeded predicate variations)
+on RLE-, dictionary-, and FOR-coded column pages, plus the degenerate
+geometries (empty table, single-page table) and salvage-mode pages,
+asserting the reassembled output is byte-identical to a cold serial
+scan of the same query.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.compression.base import CodecKind
+from repro.compression.registry import build_codec_for_values
+from repro.data.generator import GeneratedTable
+from repro.data.tpch import generate_orders, orders_schema
+from repro.engine.context import ExecutionContext
+from repro.engine.executor import run_scan
+from repro.engine.predicate import predicate_for_selectivity
+from repro.engine.query import ScanQuery
+from repro.engine.sharing import ScanShareManager, SharedScanConsumer, SharedScanStream
+from repro.errors import ChecksumError, PlanError
+from repro.storage.layout import Layout
+from repro.storage.loader import load_table
+from repro.storage.table import ColumnTable
+from repro.testing.oracle import oracle_scan
+
+ROWS = 700
+
+
+def _spec(kind: CodecKind, attr_type, values: np.ndarray):
+    return build_codec_for_values(kind, attr_type, values, page_capacity_hint=256).spec
+
+
+def _coded_orders(seed: int) -> GeneratedTable:
+    """ORDERS data with RLE, dictionary, and FOR codecs assigned."""
+    data = generate_orders(ROWS, seed=seed)
+    schema = data.schema
+    # Sort one column's values into runs so RLE has something to encode
+    # (the codec requires nothing; the runs make the pages interesting).
+    columns = dict(data.columns)
+    columns["O_SHIPPRIORITY"] = np.sort(columns["O_SHIPPRIORITY"])
+    specs = {
+        "O_SHIPPRIORITY": _spec(
+            CodecKind.RLE,
+            schema.attribute("O_SHIPPRIORITY").attr_type,
+            columns["O_SHIPPRIORITY"],
+        ),
+        "O_ORDERSTATUS": _spec(
+            CodecKind.DICT,
+            schema.attribute("O_ORDERSTATUS").attr_type,
+            columns["O_ORDERSTATUS"],
+        ),
+        "O_TOTALPRICE": _spec(
+            CodecKind.FOR,
+            schema.attribute("O_TOTALPRICE").attr_type,
+            columns["O_TOTALPRICE"],
+        ),
+    }
+    return GeneratedTable(schema=schema.with_codecs(specs), columns=columns)
+
+
+def _empty_orders() -> GeneratedTable:
+    schema = orders_schema()
+    columns = {
+        attr.name: np.zeros(0, dtype=attr.attr_type.numpy_dtype())
+        for attr in schema
+    }
+    return GeneratedTable(schema=schema, columns=columns)
+
+
+def assert_identical(got, want) -> None:
+    assert np.array_equal(got.positions, want.positions)
+    assert got.positions.dtype == want.positions.dtype
+    assert list(got.columns) == list(want.columns)
+    for name in want.columns:
+        assert np.array_equal(got.columns[name], want.columns[name]), name
+        assert got.columns[name].dtype == want.columns[name].dtype, name
+
+
+def _drain_consumer(consumer: SharedScanConsumer):
+    from repro.engine.blocks import concat_blocks
+    from repro.engine.executor import QueryResult
+
+    blocks = consumer.drain()
+    merged = concat_blocks(blocks)
+    return QueryResult(
+        columns=merged.columns,
+        positions=merged.positions,
+        events=consumer.context.events,
+        corruption=consumer.context.corruption,
+    )
+
+
+def _advance_stream(stream: SharedScanStream, query: ScanQuery, steps: int) -> None:
+    """Move the stream's cursor by pumping a throwaway rider."""
+    if steps == 0:
+        return
+    pacer = SharedScanConsumer(ExecutionContext(), stream, query)
+    pacer.open()
+    for _ in range(steps):
+        if not pacer.advance():
+            break
+    stream.detach(pacer)
+
+
+QUERY = ScanQuery(
+    "ORDERS", select=("O_ORDERKEY", "O_SHIPPRIORITY", "O_ORDERSTATUS", "O_TOTALPRICE")
+)
+
+
+class TestCircularAttach:
+    """Every attach point must reassemble to the cold-scan answer."""
+
+    @pytest.mark.parametrize("layout", [Layout.ROW, Layout.PAX, Layout.COLUMN])
+    def test_every_attach_page_matches_cold_scan(self, layout):
+        data = _coded_orders(seed=11)
+        table = load_table(data, layout)
+        want = run_scan(load_table(data, layout), QUERY)
+        probe = SharedScanStream(table, QUERY.scan_attributes(), True)
+        for attach_at in range(probe.num_segments + 1):
+            stream = SharedScanStream(table, QUERY.scan_attributes(), True)
+            _advance_stream(stream, QUERY, attach_at)
+            rider = SharedScanConsumer(ExecutionContext(), stream, QUERY)
+            assert rider.attach_cursor == attach_at % max(stream.num_segments, 1)
+            got = _drain_consumer(rider)
+            assert_identical(got, want)
+
+    def test_seeded_predicates_and_attach_points(self):
+        """Seed-replayable sweep: random predicates x random attach."""
+        data = _coded_orders(seed=23)
+        table = load_table(data, Layout.COLUMN)
+        for seed in range(25):
+            rng = random.Random(f"scan-share-{seed}")
+            attr = rng.choice(["O_SHIPPRIORITY", "O_TOTALPRICE", "O_ORDERKEY"])
+            selectivity = rng.choice([0.05, 0.3, 0.7, 1.0])
+            predicate = predicate_for_selectivity(
+                attr, data.column(attr), selectivity
+            )
+            query = ScanQuery(
+                "ORDERS",
+                select=("O_ORDERKEY", "O_ORDERSTATUS", attr)
+                if attr != "O_ORDERKEY"
+                else ("O_ORDERKEY", "O_ORDERSTATUS"),
+                predicates=(predicate,),
+            )
+            stream = SharedScanStream(table, query.scan_attributes(), True)
+            _advance_stream(
+                stream, query, rng.randrange(stream.num_segments + 1)
+            )
+            rider = SharedScanConsumer(ExecutionContext(), stream, query)
+            got = _drain_consumer(rider)
+            want = run_scan(load_table(data, Layout.COLUMN), query)
+            assert_identical(got, want)
+            oracle = oracle_scan(data, query)
+            assert got.positions.tolist() == list(oracle.positions), f"seed {seed}"
+
+    def test_two_riders_attached_at_different_points(self):
+        """A mid-flight joiner and the original rider both get it all."""
+        data = _coded_orders(seed=31)
+        table = load_table(data, Layout.COLUMN)
+        want = run_scan(load_table(data, Layout.COLUMN), QUERY)
+        stream = SharedScanStream(table, QUERY.scan_attributes(), True)
+        first = SharedScanConsumer(ExecutionContext(), stream, QUERY)
+        first.open()
+        # Ride the first consumer partway, then attach the second.
+        for _ in range(stream.num_segments // 2):
+            first.advance()
+        second = SharedScanConsumer(ExecutionContext(), stream, QUERY)
+        assert second.attach_cursor == stream.cursor
+        got_second = _drain_consumer(second)
+        # First finishes off deliveries it already received plus the rest.
+        blocks = []
+        while True:
+            block = first.next()
+            if block is None:
+                break
+            blocks.append(block)
+        first.close()
+        from repro.engine.blocks import concat_blocks
+
+        merged = concat_blocks(blocks)
+        assert_identical(merged, want.as_block())
+        assert_identical(got_second, want)
+        # Both detached after their single pass.
+        assert stream.consumers == ()
+
+
+class TestDegenerateGeometry:
+    def test_empty_table(self):
+        data = _empty_orders()
+        for layout in (Layout.ROW, Layout.PAX, Layout.COLUMN):
+            table = load_table(data, layout)
+            stream = SharedScanStream(table, QUERY.scan_attributes(), True)
+            assert stream.num_segments == 0
+            rider = SharedScanConsumer(ExecutionContext(), stream, QUERY)
+            got = _drain_consumer(rider)
+            want = run_scan(load_table(data, layout), QUERY)
+            assert_identical(got, want)
+            assert got.num_tuples == 0
+            assert list(got.columns) == list(QUERY.select)
+
+    def test_single_page_table(self):
+        data = generate_orders(40, seed=3)
+        for layout in (Layout.ROW, Layout.PAX, Layout.COLUMN):
+            table = load_table(data, layout)
+            stream = SharedScanStream(table, QUERY.scan_attributes(), True)
+            rider = SharedScanConsumer(ExecutionContext(), stream, QUERY)
+            got = _drain_consumer(rider)
+            assert_identical(got, run_scan(load_table(data, layout), QUERY))
+
+    def test_missing_attribute_is_a_plan_error(self):
+        data = generate_orders(40, seed=3)
+        table = load_table(data, Layout.COLUMN)
+        stream = SharedScanStream(table, ("O_ORDERKEY",), True)
+        with pytest.raises(PlanError):
+            SharedScanConsumer(ExecutionContext(), stream, QUERY)
+
+
+def _corrupt_page(paged_file, page_index: int) -> None:
+    offset = page_index * paged_file.page_size + 97
+    paged_file._data[offset] ^= 0xFF
+
+
+class TestSalvagePages:
+    """Corrupt pages drop the same rows as a serial salvage scan."""
+
+    @pytest.mark.parametrize("layout", [Layout.ROW, Layout.PAX, Layout.COLUMN])
+    def test_salvage_matches_serial_salvage(self, layout):
+        data = _coded_orders(seed=47)
+        table = load_table(data, layout)
+        if isinstance(table, ColumnTable):
+            victim = table.column_file("O_ORDERKEY").file
+        else:
+            victim = table.file
+        _corrupt_page(victim, victim.num_pages // 2)
+        want = run_scan(table, QUERY, salvage=True)
+        assert not want.is_complete
+        context = ExecutionContext(strict_integrity=False)
+        stream = SharedScanStream(table, QUERY.scan_attributes(), False)
+        rider = SharedScanConsumer(context, stream, QUERY)
+        got = _drain_consumer(rider)
+        assert_identical(got, want)
+        assert not got.is_complete
+        assert got.corruption.faults[0].page == victim.num_pages // 2
+
+    def test_salvage_attach_points(self):
+        """Wrap-around over a corrupt page from every attach offset."""
+        data = _coded_orders(seed=53)
+        table = load_table(data, Layout.COLUMN)
+        victim = table.column_file("O_SHIPPRIORITY").file
+        _corrupt_page(victim, 0)
+        want = run_scan(table, QUERY, salvage=True)
+        probe = SharedScanStream(table, QUERY.scan_attributes(), False)
+        for attach_at in range(0, probe.num_segments + 1, 2):
+            stream = SharedScanStream(table, QUERY.scan_attributes(), False)
+            _advance_stream(stream, QUERY, attach_at)
+            rider = SharedScanConsumer(
+                ExecutionContext(strict_integrity=False), stream, QUERY
+            )
+            got = _drain_consumer(rider)
+            assert_identical(got, want)
+
+    def test_strict_stream_fails_every_rider_typed(self):
+        data = _coded_orders(seed=59)
+        table = load_table(data, Layout.ROW)
+        _corrupt_page(table.file, 0)
+        stream = SharedScanStream(table, QUERY.scan_attributes(), True)
+        first = SharedScanConsumer(ExecutionContext(), stream, QUERY)
+        second = SharedScanConsumer(ExecutionContext(), stream, QUERY)
+        first.open()
+        with pytest.raises(ChecksumError):
+            while first.advance():
+                pass
+        assert stream.failed is not None
+        second.open()
+        with pytest.raises(ChecksumError):
+            second.next()
+
+
+class TestShareManager:
+    def test_hit_then_fresh_stream_after_pass(self):
+        data = _coded_orders(seed=61)
+        table = load_table(data, Layout.COLUMN)
+        manager = ScanShareManager()
+        context_a = ExecutionContext()
+        a = manager.acquire(table, QUERY, context_a)
+        b = manager.acquire(table, QUERY, ExecutionContext())
+        assert a.share is b.share
+        assert manager.hits == 1 and manager.misses == 1
+        got_a = _drain_consumer(a)
+        got_b = _drain_consumer(b)
+        want = run_scan(load_table(data, Layout.COLUMN), QUERY)
+        assert_identical(got_a, want)
+        assert_identical(got_b, want)
+        # Pass complete, all riders detached: next acquire starts fresh.
+        c = manager.acquire(table, QUERY, ExecutionContext())
+        assert c.share is not a.share
+        assert manager.misses == 2
+        # The I/O ledger keeps both streams' pages, each counted once.
+        assert manager.io_pages() >= a.share.io_events.pages_touched
+
+    def test_different_column_sets_do_not_share(self):
+        data = _coded_orders(seed=67)
+        table = load_table(data, Layout.COLUMN)
+        manager = ScanShareManager()
+        narrow = ScanQuery("ORDERS", select=("O_ORDERKEY",))
+        a = manager.acquire(table, QUERY, ExecutionContext())
+        b = manager.acquire(table, narrow, ExecutionContext())
+        assert a.share is not b.share
+        assert manager.hits == 0
+
+    def test_io_accounted_once_for_two_riders(self):
+        data = _coded_orders(seed=71)
+        table = load_table(data, Layout.COLUMN)
+        manager = ScanShareManager()
+        a = manager.acquire(table, QUERY, ExecutionContext())
+        b = manager.acquire(table, QUERY, ExecutionContext())
+        _drain_consumer(a)
+        _drain_consumer(b)
+        shared_pages = manager.io_pages()
+        solo = run_scan(load_table(data, Layout.COLUMN), QUERY)
+        # Two riders, one stream: strictly less than two solo scans.
+        assert shared_pages < 2 * solo.events.pages_touched

@@ -1,0 +1,158 @@
+"""Chaos under concurrency: faults hit single queries in a live batch.
+
+Seeded :func:`~repro.testing.chaos.generate_workload_chaos_case` batches
+run kills, cancellations, tight deadlines, and stalls against individual
+queries of a concurrent workload (sharing on and off, all four scanner
+architectures).  The invariant, checked per query:
+
+* every query ends in *correct result XOR typed error* (a
+  :class:`~repro.errors.GovernanceError` subclass or
+  :class:`~repro.testing.chaos.ChaosKill`);
+* a query with no injection of its own completes byte-identically to
+  its serial run — one victim's fault never corrupts or cancels its
+  scan-share peers.
+
+The 40-seed smoke sweep runs in tier-1; the 300-seed deep sweep runs
+under ``pytest --run-chaos`` (or ``make chaos-deep``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.tpch import generate_orders
+from repro.engine.query import ScanQuery
+from repro.engine.scheduler import QueryState, Scheduler
+from repro.errors import QueryCancelled, QueryTimeout
+from repro.storage.layout import Layout
+from repro.storage.loader import load_table
+from repro.testing.chaos import (
+    ChaosKill,
+    generate_workload_chaos_case,
+    run_workload_chaos_case,
+)
+
+SMOKE_SEEDS = 40
+DEEP_SEEDS = 300
+
+
+def _sweep(start: int, count: int) -> None:
+    failures = []
+    for seed in range(start, start + count):
+        outcome = run_workload_chaos_case(generate_workload_chaos_case(seed))
+        if not outcome.ok:
+            case = generate_workload_chaos_case(seed)
+            failures.append(
+                case.describe() + "\n    " + "\n    ".join(outcome.violations)
+            )
+    assert not failures, "\n".join(failures)
+
+
+def test_workload_chaos_smoke():
+    _sweep(0, SMOKE_SEEDS)
+
+
+@pytest.mark.chaos
+def test_workload_chaos_deep():
+    _sweep(0, DEEP_SEEDS)
+
+
+def test_generation_is_pure():
+    a = generate_workload_chaos_case(11).describe()
+    b = generate_workload_chaos_case(11).describe()
+    assert a == b
+
+
+def test_generation_covers_every_injection_and_config():
+    cases = [generate_workload_chaos_case(seed) for seed in range(SMOKE_SEEDS)]
+    injections = {
+        query.injection
+        for case in cases
+        for query in case.queries
+        if query.injection
+    }
+    assert injections == {"kill", "cancel", "deadline", "stall"}
+    assert {case.layout_name for case in cases} == {"row", "pax", "column", "fused"}
+    assert any(case.share_scans for case in cases)
+    assert any(not case.share_scans for case in cases)
+    # Every case keeps at least one healthy peer to assert isolation on.
+    assert all(
+        any(query.injection is None for query in case.queries) for case in cases
+    )
+
+
+def test_outcome_states_name_the_typed_errors():
+    for seed in range(SMOKE_SEEDS):
+        case = generate_workload_chaos_case(seed)
+        if not any(q.injection == "kill" for q in case.queries):
+            continue
+        outcome = run_workload_chaos_case(case)
+        assert "ChaosKill" in outcome.states
+        return
+    pytest.fail("no kill case in the smoke range")
+
+
+class TestPeerIsolation:
+    """Deterministic versions of the sweep's isolation invariant."""
+
+    QUERY = ScanQuery("ORDERS", select=("O_ORDERKEY", "O_TOTALPRICE"))
+
+    @pytest.fixture(scope="class")
+    def table(self):
+        return load_table(generate_orders(500, seed=21), Layout.COLUMN)
+
+    def test_killed_rider_leaves_sharing_peers_intact(self, table):
+        scheduler = Scheduler(max_inflight=4, share_scans=True)
+
+        def kill(context):
+            if context.ticks > 2:
+                raise ChaosKill("injected kill")
+
+        victim = scheduler.submit(table, self.QUERY, on_tick=kill)
+        peers = [scheduler.submit(table, self.QUERY) for _ in range(2)]
+        scheduler.run()
+        assert victim.state is QueryState.FAILED
+        assert isinstance(victim.error, ChaosKill)
+        want = scheduler.handles()[1].result
+        for peer in peers:
+            assert peer.state is QueryState.DONE, peer.error
+            assert peer.result.num_tuples == 500
+            assert peer.result.positions.tolist() == want.positions.tolist()
+
+    def test_cancelled_rider_leaves_peers_intact(self, table):
+        scheduler = Scheduler(max_inflight=4, share_scans=True)
+
+        def cancel(context):
+            if context.ticks > 2:
+                context.token.cancel("operator fatigue")
+
+        victim = scheduler.submit(table, self.QUERY, on_tick=cancel)
+        peer = scheduler.submit(table, self.QUERY)
+        scheduler.run()
+        assert isinstance(victim.error, QueryCancelled)
+        assert peer.state is QueryState.DONE, peer.error
+
+    def test_expired_deadline_in_queue_fails_fast_without_running(self, table):
+        scheduler = Scheduler(max_inflight=1, share_scans=True)
+        slow = scheduler.submit(table, self.QUERY)
+        doomed = scheduler.submit(table, self.QUERY, timeout=0.0)
+        scheduler.run()
+        assert slow.state is QueryState.DONE
+        assert doomed.state is QueryState.FAILED
+        assert isinstance(doomed.error, QueryTimeout)
+        # It never got a plan: no pages were read on its behalf.
+        assert doomed.result is None
+
+    def test_failure_then_new_arrivals_get_a_fresh_stream(self, table):
+        scheduler = Scheduler(max_inflight=4, share_scans=True)
+
+        def kill(context):
+            raise ChaosKill("immediate")
+
+        victim = scheduler.submit(table, self.QUERY, on_tick=kill)
+        scheduler.run()
+        assert victim.state is QueryState.FAILED
+        late = scheduler.submit(table, self.QUERY)
+        scheduler.run()
+        assert late.state is QueryState.DONE, late.error
+        assert late.result.num_tuples == 500
