@@ -2,7 +2,7 @@
 # PEP 660 editable builds; in offline environments without it, the
 # legacy `setup.py develop` path below installs identically.
 
-.PHONY: install test bench fuzz chaos chaos-deep scrub experiments experiments-md metrics overhead-gate parallel-bench workload-bench scheduler-test all
+.PHONY: install test bench fuzz chaos chaos-deep scrub experiments experiments-md metrics overhead-gate parallel-bench workload-bench scheduler-test dashboard regression-check all
 
 install:
 	pip install -e . 2>/dev/null || python setup.py develop
@@ -25,7 +25,7 @@ fuzz:
 # deadline x slack.  Replay one violation with
 # `python -m repro.testing.chaos --seed N`.
 chaos:
-	python -m repro.testing.chaos --cases 200
+	python -m repro.testing.chaos --cases 200 --blackbox-dir chaos-artifacts
 
 # The deep 2,000-case chaos sweep (also: pytest --run-chaos).
 chaos-deep:
@@ -68,3 +68,20 @@ workload-bench:
 scheduler-test:
 	pytest tests/test_scheduler_equivalence.py tests/test_scan_sharing.py \
 		tests/test_scheduler_chaos.py tests/test_parallel_equivalence.py -q
+
+# Live scheduler board: a demo concurrent workload redrawn as it runs.
+# `python -m repro.obs.dashboard --html board.html` for a snapshot page.
+dashboard:
+	python -m repro.obs.dashboard --frames 5
+
+# Regression sentinel: produce a fresh throughput artifact, compare it
+# against the newest baseline under baselines/ (passes with a note when
+# none is committed), then self-test the comparator's decision logic.
+regression-check:
+	python benchmarks/bench_workload_throughput.py --out workload-artifacts
+	python benchmarks/check_regression.py \
+		--current workload-artifacts/bench_workload_throughput.json \
+		--baseline 'baselines/*.json'
+	python benchmarks/check_regression.py \
+		--current workload-artifacts/bench_workload_throughput.json \
+		--self-test

@@ -1,0 +1,324 @@
+"""Regression sentinel for the workload-throughput benchmark.
+
+Compares a freshly produced ``bench_workload_throughput.json`` artifact
+against one or more prior baseline artifacts and fails (exit 1) when
+any benchmark arm regressed beyond a noise-aware threshold:
+
+* **latency** (p50/p95/p99/makespan, higher is worse) regresses when
+  the current value exceeds ``baseline * (1 + threshold)`` AND the
+  absolute delta clears ``--noise-floor-ms`` — the second clause stops
+  a 0.4 ms -> 0.6 ms jitter on a fast arm from tripping a 25% gate;
+* **qps** (lower is worse) regresses when the current value drops
+  below ``baseline / (1 + threshold)``.
+
+Arms are matched by ``(clients, share_scans)``, so re-ordered or added
+arms never misalign the comparison; arms present on only one side are
+reported and skipped.  When several ``--baseline`` globs match, the
+newest artifact by its provenance ``timestamp_utc`` wins.  Baselines
+whose provenance (calibration fingerprint, python, numpy) differs from
+the current artifact produce warnings — cross-machine comparisons are
+allowed but flagged, since the modeled cost terms shift with
+calibration.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --current results/bench_workload_throughput.json \
+        --baseline 'baselines/*.json'
+
+    python benchmarks/check_regression.py \
+        --current results/bench_workload_throughput.json --self-test
+
+``--self-test`` needs no baseline: it checks the comparator itself by
+verifying the current artifact passes against an identical copy and is
+flagged against a synthetically slowed copy.  CI runs exactly that
+(there is no committed cross-run baseline yet), so the sentinel's
+decision logic is exercised on every push.
+
+Exit codes: 0 ok, 1 regression (or self-test failure), 2 usage errors
+(missing artifact, ``--require-baseline`` with no baseline found).
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import glob
+import json
+import os
+import pathlib
+import sys
+
+#: Per-arm metrics compared: (json key, short name, higher-is-worse).
+METRICS = (
+    ("latency_p50_seconds", "p50", True),
+    ("latency_p95_seconds", "p95", True),
+    ("latency_p99_seconds", "p99", True),
+    ("makespan_seconds", "makespan", True),
+    ("qps", "qps", False),
+)
+
+#: Provenance keys that should match for an apples-to-apples comparison.
+PROVENANCE_KEYS = ("calibration_fingerprint", "python", "numpy")
+
+DEFAULT_THRESHOLD = 0.25
+DEFAULT_NOISE_FLOOR_MS = 2.0
+
+
+def load_artifact(path: str | pathlib.Path) -> dict:
+    """One benchmark artifact, validated to have comparable arms."""
+    data = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data.get("arms"), list) or not data["arms"]:
+        raise ValueError(f"{path}: no 'arms' array — not a benchmark artifact")
+    return data
+
+
+def index_arms(artifact: dict) -> dict[tuple[int, bool], dict]:
+    """Arms keyed by ``(clients, share_scans)``."""
+    return {
+        (int(arm["clients"]), bool(arm["share_scans"])): arm
+        for arm in artifact["arms"]
+    }
+
+
+def pick_baseline(patterns: list[str]) -> tuple[str, dict] | None:
+    """The newest artifact matching any glob, by provenance timestamp.
+
+    Files that fail to parse are skipped with a note on stderr rather
+    than aborting — a half-written artifact from a crashed run should
+    not wedge the sentinel.
+    """
+    candidates: list[tuple[str, str, dict]] = []
+    for pattern in patterns:
+        for path in sorted(glob.glob(pattern)):
+            try:
+                artifact = load_artifact(path)
+            except (ValueError, OSError, json.JSONDecodeError) as exc:
+                print(f"note: skipping baseline {path}: {exc}", file=sys.stderr)
+                continue
+            stamp = str(artifact.get("provenance", {}).get("timestamp_utc", ""))
+            candidates.append((stamp, path, artifact))
+    if not candidates:
+        return None
+    stamp, path, artifact = max(candidates, key=lambda item: item[0])
+    return path, artifact
+
+
+def compare(
+    current: dict,
+    baseline: dict,
+    threshold: float,
+    noise_floor_s: float,
+) -> dict:
+    """Compare two artifacts arm by arm.
+
+    Returns ``{"regressions": [...], "checked": [...], "warnings":
+    [...]}`` where each regression/checked row carries the arm key,
+    metric name, baseline and current values, and the relative delta.
+    """
+    cur_arms = index_arms(current)
+    base_arms = index_arms(baseline)
+    regressions: list[dict] = []
+    checked: list[dict] = []
+    warnings: list[str] = []
+
+    cur_prov = current.get("provenance", {})
+    base_prov = baseline.get("provenance", {})
+    for key in PROVENANCE_KEYS:
+        if cur_prov.get(key) != base_prov.get(key):
+            warnings.append(
+                f"provenance mismatch on {key}: baseline "
+                f"{base_prov.get(key)!r} vs current {cur_prov.get(key)!r}"
+            )
+
+    for arm_key in sorted(set(cur_arms) - set(base_arms)):
+        warnings.append(f"arm {arm_key} has no baseline — skipped")
+    for arm_key in sorted(set(base_arms) - set(cur_arms)):
+        warnings.append(f"baseline arm {arm_key} missing from current run")
+
+    for arm_key in sorted(set(cur_arms) & set(base_arms)):
+        cur_arm, base_arm = cur_arms[arm_key], base_arms[arm_key]
+        for json_key, name, higher_is_worse in METRICS:
+            base = float(base_arm[json_key])
+            cur = float(cur_arm[json_key])
+            delta = (cur / base - 1.0) if base else 0.0
+            row = {
+                "clients": arm_key[0],
+                "share_scans": arm_key[1],
+                "metric": name,
+                "baseline": base,
+                "current": cur,
+                "delta": delta,
+            }
+            if higher_is_worse:
+                regressed = (
+                    cur > base * (1.0 + threshold)
+                    and (cur - base) > noise_floor_s
+                )
+            else:
+                regressed = cur < base / (1.0 + threshold)
+            row["regressed"] = regressed
+            checked.append(row)
+            if regressed:
+                regressions.append(row)
+
+    return {"regressions": regressions, "checked": checked, "warnings": warnings}
+
+
+def _describe(row: dict) -> str:
+    share = "on" if row["share_scans"] else "off"
+    unit = " qps" if row["metric"] == "qps" else " s"
+    return (
+        f"clients={row['clients']} share={share} {row['metric']}: "
+        f"{row['baseline']:.4f} -> {row['current']:.4f}{unit} "
+        f"({row['delta']:+.1%})"
+    )
+
+
+def report(outcome: dict, baseline_path: str, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps({"baseline": baseline_path, **outcome}, indent=2))
+        return
+    for warning in outcome["warnings"]:
+        print(f"warning: {warning}")
+    for row in outcome["regressions"]:
+        print(f"REGRESSION {_describe(row)}")
+    ok = len(outcome["checked"]) - len(outcome["regressions"])
+    print(
+        f"regression check vs {baseline_path}: {ok}/{len(outcome['checked'])} "
+        f"metrics within threshold"
+        + ("" if not outcome["regressions"] else " — FAIL")
+    )
+
+
+def _slowed_copy(artifact: dict, factor: float) -> dict:
+    """A deep copy with every arm slowed by ``factor`` (for --self-test)."""
+    slowed = copy.deepcopy(artifact)
+    for arm in slowed["arms"]:
+        for json_key, _name, higher_is_worse in METRICS:
+            if higher_is_worse:
+                arm[json_key] = float(arm[json_key]) * factor
+            else:
+                arm[json_key] = float(arm[json_key]) / factor
+    return slowed
+
+
+def self_test(current: dict, threshold: float, noise_floor_s: float) -> int:
+    """Prove the comparator flags slowdowns and passes identical runs."""
+    identical = compare(current, current, threshold, noise_floor_s)
+    if identical["regressions"]:
+        print("self-test FAIL: identical artifact flagged as regressed")
+        for row in identical["regressions"]:
+            print(f"  {_describe(row)}")
+        return 1
+
+    # Slow every metric well past both the relative threshold and any
+    # plausible noise floor so the gate must fire on every arm.
+    factor = 1.0 + 2.0 * threshold + 0.1
+    slowed = compare(_slowed_copy(current, factor), current, threshold, noise_floor_s)
+    arms = len(index_arms(current))
+    flagged = {
+        (row["clients"], row["share_scans"], row["metric"])
+        for row in slowed["regressions"]
+    }
+    missed = [
+        (clients, share, name)
+        for (clients, share) in index_arms(current)
+        for _key, name, _worse in METRICS
+        if (clients, share, name) not in flagged
+    ]
+    # Sub-noise-floor latencies legitimately escape the absolute clause;
+    # qps has no noise floor, so every arm must flag at least that.
+    missed = [
+        item
+        for item in missed
+        if item[2] == "qps"
+        or float(index_arms(current)[item[:2]][
+            {name: key for key, name, _ in METRICS}[item[2]]
+        ]) * (factor - 1.0) > noise_floor_s
+    ]
+    if missed:
+        print(f"self-test FAIL: slowed copy not flagged on {missed}")
+        return 1
+    print(
+        f"self-test ok: identical artifact passes, x{factor:.2f} slowdown "
+        f"flagged on all {arms} arms"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/check_regression.py",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "--current",
+        required=True,
+        help="artifact from the run under test (bench_workload_throughput.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        action="append",
+        default=[],
+        metavar="GLOB",
+        help="baseline artifact glob; repeatable, newest timestamp wins",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(
+            os.environ.get("REPRO_REGRESSION_THRESHOLD", DEFAULT_THRESHOLD)
+        ),
+        help="relative regression threshold (default %(default)s, "
+        "env REPRO_REGRESSION_THRESHOLD)",
+    )
+    parser.add_argument(
+        "--noise-floor-ms",
+        type=float,
+        default=DEFAULT_NOISE_FLOOR_MS,
+        help="absolute latency delta below which a relative miss is noise "
+        "(default %(default)s ms)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    parser.add_argument(
+        "--require-baseline",
+        action="store_true",
+        help="exit 2 when no baseline matches (default: pass with a note)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the comparator against the current artifact itself",
+    )
+    args = parser.parse_args(argv)
+    noise_floor_s = args.noise_floor_ms / 1e3
+
+    try:
+        current = load_artifact(args.current)
+    except (ValueError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot load current artifact: {exc}", file=sys.stderr)
+        return 2
+
+    if args.self_test:
+        return self_test(current, args.threshold, noise_floor_s)
+
+    picked = pick_baseline(args.baseline) if args.baseline else None
+    if picked is None:
+        message = "no baseline artifact found"
+        if args.require_baseline:
+            print(f"error: {message}", file=sys.stderr)
+            return 2
+        print(f"note: {message} — nothing to compare, passing")
+        return 0
+
+    baseline_path, baseline = picked
+    outcome = compare(current, baseline, args.threshold, noise_floor_s)
+    report(outcome, baseline_path, args.json)
+    return 1 if outcome["regressions"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,12 @@ inside the scanners — costs one attribute load plus a branch.  The
 governance arms swap only those checkpoints (shipped vs stubbed-out),
 so the measured ratio isolates the disabled-governance cost.
 
+A third paired gate covers the flight recorder, which — unlike tracing
+and governance — ships **enabled by default**.  Its arms run the same
+concurrent scheduler batch (where every recorder emit point lives)
+with the recorder module flag off vs on, holding the enabled-by-default
+cost of :mod:`repro.obs.recorder` to the same 5% budget.
+
 Measurement is built for noisy shared runners: both arms alternate in
 paired cycles (each block re-warmed after the method swap, because
 swapping class attributes invalidates CPython's adaptive
@@ -57,8 +63,10 @@ from repro.engine.predicate import predicate_for_selectivity
 from repro.engine.query import ScanQuery
 from repro.errors import EngineError
 from repro.obs import SpanTracer, chrome_trace, flat_profile, metrics, render_explain
+from repro.obs import recorder as flight
 from repro.obs.provenance import provenance
 from repro.engine.context import ExecutionContext
+from repro.engine.scheduler import Scheduler
 from repro.storage.layout import Layout
 from repro.storage.loader import load_table
 
@@ -160,23 +168,29 @@ def _sample(table, query) -> float:
 
 
 def _paired(
-    cycles: int, samples: int, use_baseline, use_candidate
+    cycles: int, samples: int, use_baseline, use_candidate, sample=None
 ) -> tuple[float, list[float]]:
-    """One attempt: (median cycle ratio - 1, the per-cycle ratios)."""
+    """One attempt: (median cycle ratio - 1, the per-cycle ratios).
+
+    ``sample`` defaults to the single-query :func:`_sample`; the
+    recorder gate passes :func:`_scheduler_sample` instead so its arms
+    exercise the scheduler paths the recorder instruments.
+    """
     import statistics
 
+    sample = sample or _sample
     table, query = _workload()
     ratios = []
     try:
         for _ in range(cycles):
             use_baseline()
-            _sample(table, query)  # re-specialize after the method swap
-            _sample(table, query)
-            baseline = min(_sample(table, query) for _ in range(samples))
+            sample(table, query)  # re-specialize after the method swap
+            sample(table, query)
+            baseline = min(sample(table, query) for _ in range(samples))
             use_candidate()
-            _sample(table, query)
-            _sample(table, query)
-            candidate = min(_sample(table, query) for _ in range(samples))
+            sample(table, query)
+            sample(table, query)
+            candidate = min(sample(table, query) for _ in range(samples))
             ratios.append(candidate / baseline)
     finally:
         use_candidate()  # leave the shipped methods installed
@@ -201,6 +215,37 @@ def measure_governance(cycles: int, samples: int) -> tuple[float, list[float]]:
         samples,
         lambda: _use_governance(_UNGOVERNED),
         lambda: _use_governance(_GOVERNED),
+    )
+
+
+#: Concurrent batches per recorder-gate sample: each batch runs
+#: ``SCHED_CLIENTS`` queries through one shared-scan scheduler, hitting
+#: every recorder emit point (submit/admit/slice/attach/wrap/detach/done).
+SCHED_BATCH = 5
+SCHED_CLIENTS = 8
+
+
+def _scheduler_sample(table, query) -> float:
+    started = time.perf_counter()
+    for _ in range(SCHED_BATCH):
+        scheduler = Scheduler(max_inflight=SCHED_CLIENTS, share_scans=True)
+        for index in range(SCHED_CLIENTS):
+            scheduler.submit(table, query, label=f"overhead client-{index}")
+        scheduler.run()
+        assert scheduler.failed == 0
+    return time.perf_counter() - started
+
+
+def measure_recorder(cycles: int, samples: int) -> tuple[float, list[float]]:
+    """Recorder gate: flight recorder disabled vs enabled (the default).
+
+    No method swapping — the arms flip the module flag that every
+    guarded ``flight.record()`` call checks, which is exactly the knob
+    a user has.  The candidate arm (enabled) is the shipped default, so
+    this gate prices the recorder's always-on promise.
+    """
+    return _paired(
+        cycles, samples, flight.disable, flight.enable, sample=_scheduler_sample
     )
 
 
@@ -265,11 +310,16 @@ def main(argv: list[str] | None = None) -> int:
         return overhead, attempts
 
     # Quiesce the whole obs layer: these arms are the "disabled" promise.
+    # The recorder gate also runs here so metrics noise is identical in
+    # both of its arms; only the recorder flag differs between them.
     metrics.disable()
     try:
         tracing_overhead, tracing_attempts = run_gate("tracing", measure)
         governance_overhead, governance_attempts = run_gate(
             "governance", measure_governance
+        )
+        recorder_overhead, recorder_attempts = run_gate(
+            "recorder", measure_recorder
         )
     finally:
         metrics.enable()
@@ -278,6 +328,7 @@ def main(argv: list[str] | None = None) -> int:
     for name, overhead in (
         ("tracing no-op", tracing_overhead),
         ("governance no-op", governance_overhead),
+        ("recorder enabled-by-default", recorder_overhead),
     ):
         verdict = "OK" if overhead <= threshold else "FAIL"
         ok = ok and overhead <= threshold
@@ -298,6 +349,10 @@ def main(argv: list[str] | None = None) -> int:
                 "governance": {
                     "overhead_fraction": governance_overhead,
                     "attempts": governance_attempts,
+                },
+                "recorder": {
+                    "overhead_fraction": recorder_overhead,
+                    "attempts": recorder_attempts,
                 },
                 "provenance": provenance(),
             },

@@ -35,8 +35,11 @@ from repro.engine.scheduler import QueryHandle, Scheduler, WorkloadQuery
 from repro.errors import ChecksumError, PlanError, StorageError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ScanMeasurement, measure_scan
+from repro.obs import recorder as flight
 from repro.obs.export import QueryProfile
 from repro.obs.provenance import provenance
+from repro.obs.recorder import FlightRecorder
+from repro.obs.slowlog import SlowQueryLog
 from repro.obs.trace import SpanTracer
 from repro.storage.layout import Layout
 from repro.storage.loader import load_table
@@ -271,7 +274,9 @@ class Database:
             memory_budget=memory_budget,
             cancellation=cancellation,
             salvage=salvage,
-            label=label or f"submit on {table}",
+            # Empty label falls through to the scheduler's unique
+            # per-submission default (black-box slices key on it).
+            label=label,
         )
 
     @property
@@ -291,6 +296,7 @@ class Database:
         column_scanner: ColumnScannerKind = ColumnScannerKind.PIPELINED,
         trace: bool = False,
         info: dict | None = None,
+        slowlog: SlowQueryLog | None = None,
     ) -> list[QueryHandle]:
         """Run a batch of scans concurrently and return their handles.
 
@@ -303,15 +309,19 @@ class Database:
         set.  Handles come back in submission order; failed queries
         carry their typed error on ``handle.error`` instead of
         raising.  ``info``, when given, receives the scheduler's
-        workload stats (queue depth, share hit-rate, modeled I/O).
+        workload stats (queue depth, share hit-rate, modeled I/O) plus
+        the batch's :class:`~repro.obs.slowlog.SlowQueryLog` under
+        ``"slowlog"`` (pass your own via ``slowlog=`` to set the
+        threshold/top-K).
         """
         scheduler = Scheduler(
             max_inflight=max_inflight,
             share_scans=share_scans,
             column_scanner=column_scanner,
             trace=trace,
+            slowlog=slowlog,
         )
-        for request in requests:
+        for index, request in enumerate(requests):
             if isinstance(request, dict):
                 request = WorkloadQuery(**request)
             scan = ScanQuery(
@@ -326,16 +336,39 @@ class Database:
                 timeout=request.timeout,
                 memory_budget=request.memory_budget,
                 salvage=request.salvage,
-                label=request.label or f"workload query on {request.table}",
+                # Unique per submission: the flight recorder slices
+                # black-box events by label.
+                label=request.label
+                or f"workload query #{index} on {request.table}",
             )
         scheduler.run()
         if info is not None:
             info.update(scheduler.stats())
+            info["slowlog"] = scheduler.slowlog
             if trace and scheduler.tracer is not None:
                 info["tracer"] = scheduler.tracer
         return scheduler.handles()
 
     # --- observability -------------------------------------------------------
+
+    def flight_recorder(self) -> FlightRecorder:
+        """The process-wide flight recorder (lifecycle event ring).
+
+        One recorder serves the whole process — every Database, every
+        scheduler batch — so post-mortems see cross-workload context.
+        """
+        return flight.RECORDER
+
+    def dump_blackbox(self, directory=None):
+        """The black boxes captured so far (each one failed query).
+
+        With ``directory`` they are written as one JSON file apiece
+        (``blackbox-<seq>.json``) and the paths returned; without it
+        the raw dicts are returned newest-last.
+        """
+        if directory is None:
+            return list(flight.RECORDER.blackboxes)
+        return flight.RECORDER.write_blackboxes(directory)
 
     def profile(
         self,

@@ -51,6 +51,7 @@ from repro.errors import (
     QueryTimeout,
 )
 from repro.obs import metrics as obs_metrics
+from repro.obs import recorder as flight
 
 __all__ = [
     "CancellationToken",
@@ -172,10 +173,22 @@ class QueryContext:
             obs_metrics.GOVERNANCE_CANCELLATIONS.inc()
             detail = self.token.reason or "cancellation token tripped"
             self.note(f"cancelled in {where or 'plan'}: {detail}")
+            flight.record(
+                "governance.cancel",
+                self.label,
+                where=where or "plan",
+                reason=detail,
+            )
             raise QueryCancelled(f"{self.label} cancelled ({detail})")
         if self.deadline is not None and time.monotonic() > self.deadline:
             obs_metrics.GOVERNANCE_TIMEOUTS.inc()
             self.note(f"deadline exceeded in {where or 'plan'}")
+            flight.record(
+                "governance.timeout",
+                self.label,
+                where=where or "plan",
+                overdue_s=round(-self.remaining(), 6),
+            )
             raise QueryTimeout(
                 f"{self.label} exceeded its deadline "
                 f"(overdue by {-self.remaining():.3f}s at {where or 'plan'})"
@@ -203,6 +216,9 @@ class QueryContext:
     def budget_abort(self, what: str, needed: int) -> None:
         """Record and raise the spill-free typed abort."""
         obs_metrics.GOVERNANCE_BUDGET_ABORTS.inc()
+        flight.record(
+            "governance.budget_abort", self.label, what=what, needed=needed
+        )
         self.note(
             f"memory budget exceeded in {what}: needed {needed:,} B "
             f"(+{self.memory_used:,} B held) of {self.memory_budget:,} B"
@@ -430,6 +446,7 @@ class CircuitBreaker:
         if count == self.threshold:
             self.trips += 1
             obs_metrics.GOVERNANCE_BREAKER_TRIPS.inc()
+            flight.record("governance.breaker_trip", key=str(key))
             return True
         return False
 

@@ -21,6 +21,7 @@ from repro.engine.blocks import Block
 from repro.engine.context import ExecutionContext
 from repro.errors import CompressionError, EngineError, StorageError
 from repro.obs import metrics as obs_metrics
+from repro.obs import recorder as flight
 
 #: What salvage mode treats as "this page is corrupt, skip it": checksum
 #: mismatches, malformed page bytes, codec failures, missing pages, and
@@ -76,6 +77,14 @@ class Operator(abc.ABC):
             if self.context.strict_integrity:
                 raise
             obs_metrics.PAGES_SALVAGED.inc()
+            governance = self.context.governance
+            flight.record(
+                "storage.salvage",
+                governance.label if governance is not None else None,
+                file=file_name,
+                page=page_index,
+                error=type(exc).__name__,
+            )
             self.context.corruption.record(file_name, page_index, row_span, exc)
             return None
         self.context.corruption.pages_scanned += 1

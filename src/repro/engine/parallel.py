@@ -94,6 +94,7 @@ from repro.engine.plan import (
 from repro.engine.query import AggregateSpec, ScanQuery
 from repro.errors import PlanError
 from repro.obs import metrics as obs_metrics
+from repro.obs import recorder as flight
 from repro.obs.trace import SpanTracer
 from repro.storage.partition import PartitionedTable, partition_ranges
 from repro.storage.scrub import CorruptionReport
@@ -442,6 +443,12 @@ def _run_rung(
                     if breaker is not None:
                         breaker.record_failure(keys[index])
                     obs_metrics.GOVERNANCE_PARTITION_RETRIES.inc()
+                    flight.record(
+                        "parallel.retry",
+                        governance.label if governance is not None else None,
+                        partition=index,
+                        reason=reason,
+                    )
                     notes.append(
                         f"partition {index} failed ({reason}); retried inline"
                     )
@@ -470,6 +477,12 @@ def _run_rung(
                     beat = heartbeat.get(index, started)
                     if now - beat > policy.stall_timeout:
                         obs_metrics.GOVERNANCE_STALLS.inc()
+                        flight.record(
+                            "parallel.stall",
+                            governance.label if governance is not None else None,
+                            partition=index,
+                            silent_s=round(now - beat, 3),
+                        )
                         tainted.add(index)
                         if breaker is not None:
                             breaker.record_failure(keys[index])
@@ -573,6 +586,13 @@ def _dispatch_ladder(
             break
         next_rung = rung // 2
         obs_metrics.GOVERNANCE_DEGRADATIONS.inc()
+        flight.record(
+            "parallel.degrade",
+            governance.label if governance is not None else None,
+            workers_from=rung,
+            workers_to=next_rung,
+            reason=reason,
+        )
         notes.append(
             f"degraded workers {rung}→{next_rung or 'serial'}: {reason}"
         )

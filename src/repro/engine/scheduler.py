@@ -24,9 +24,21 @@ already checkpoints on.
   cancel, or decode failure detaches it without disturbing its
   scan-share peers.
 * **Observability** — ``repro_scheduler_*`` metrics (queue depth,
-  admission waits, share hit-rate) and, with ``trace=True``, one span
-  track per query stitched into a single scheduler-level
+  admission waits, share hit-rate, in-flight gauge, windowed latency
+  quantiles + qps), flight-recorder lifecycle events with a black-box
+  dump per failed query (:mod:`repro.obs.recorder`), a per-batch
+  slow-query log (:mod:`repro.obs.slowlog`), and, with ``trace=True``,
+  one span track per query stitched into a single scheduler-level
   :class:`~repro.obs.trace.SpanTracer`.
+
+**Attribution under interleaving.**  Although many queries co-run,
+per-query accounting never crosses: each admitted query gets its own
+``ExecutionContext`` (its own CostEvents) and, when tracing, its own
+``SpanTracer``, so a timeslice granted to query A mutates only A's
+events and spans regardless of what B did the round before.  The
+process-global metrics REGISTRY intentionally sees the *sum* — it is
+workload-level by contract.  ``tests/test_scheduler_telemetry.py``
+pins both properties.
 """
 
 from __future__ import annotations
@@ -46,6 +58,8 @@ from repro.engine.query import ScanQuery
 from repro.engine.sharing import ScanShareManager, SharedScanConsumer
 from repro.errors import EngineError, PlanError, ReproError
 from repro.obs import metrics as obs_metrics
+from repro.obs import recorder as flight
+from repro.obs.slowlog import SlowQueryEntry, SlowQueryLog
 from repro.obs.trace import SpanTracer
 from repro.storage.table import Table
 
@@ -99,6 +113,12 @@ class QueryHandle:
         self.error: Exception | None = None
         #: True when the query rode a shared scan stream.
         self.shared = False
+        #: Cooperative timeslices granted so far.
+        self.slices = 0
+        #: Command that reproduces this query's failure (chaos cases
+        #: stamp ``python -m repro.testing.chaos --seed N`` here; it
+        #: rides into the black-box dump on failure).
+        self.replay = ""
         self.submitted_at = time.monotonic()
         self.admitted_at: float | None = None
         self.finished_at: float | None = None
@@ -158,6 +178,7 @@ class Scheduler:
         share_scans: bool = True,
         column_scanner: ColumnScannerKind = ColumnScannerKind.PIPELINED,
         trace: bool = False,
+        slowlog: SlowQueryLog | None = None,
     ):
         if max_inflight < 1:
             raise PlanError(f"max_inflight must be >= 1: {max_inflight}")
@@ -167,6 +188,8 @@ class Scheduler:
         self.manager = ScanShareManager()
         #: Per-query span trees land here, one track per query index.
         self.tracer: SpanTracer | None = SpanTracer() if trace else None
+        #: Every finished query is offered to the batch slow-query log.
+        self.slowlog = slowlog if slowlog is not None else SlowQueryLog()
         self._queue: deque[QueryHandle] = deque()
         #: ``(handle, timeslice generator, plan)`` per admitted query.
         self._active: list[tuple] = []
@@ -187,11 +210,15 @@ class Scheduler:
         label: str = "",
         column_scanner: ColumnScannerKind | None = None,
         on_tick: Callable[[QueryContext], None] | None = None,
+        replay: str = "",
     ) -> QueryHandle:
         """Enqueue one scan query; returns immediately with a handle.
 
         The governance deadline is anchored *now* — time spent waiting
-        in the admission queue counts against ``timeout``.
+        in the admission queue counts against ``timeout``.  ``replay``
+        is an optional shell command that reproduces this submission
+        (seeded harnesses pass it); it is stamped into the black-box
+        dump should the query fail.
         """
         governance = QueryContext.start(
             timeout=timeout,
@@ -209,10 +236,17 @@ class Scheduler:
             salvage=salvage,
             column_scanner=column_scanner or self.column_scanner,
         )
+        handle.replay = replay
         self._handles.append(handle)
         self._queue.append(handle)
         obs_metrics.SCHEDULER_SUBMITTED.inc()
         obs_metrics.SCHEDULER_QUEUE_DEPTH.observe(len(self._queue))
+        flight.record(
+            "scheduler.submit",
+            governance.label,
+            table=query.table,
+            queue_depth=len(self._queue),
+        )
         return handle
 
     # --- admission --------------------------------------------------------
@@ -233,6 +267,13 @@ class Scheduler:
             handle.state = QueryState.RUNNING
             self._active.append(
                 (handle, self._execute(handle, plan, context), plan)
+            )
+            obs_metrics.SCHEDULER_INFLIGHT.set(len(self._active))
+            flight.record(
+                "scheduler.admit",
+                handle.governance.label,
+                queue_s=round(handle.queue_seconds or 0.0, 6),
+                inflight=len(self._active),
             )
 
     def _build_plan(self, handle: QueryHandle):
@@ -286,6 +327,16 @@ class Scheduler:
         for entry in list(self._active):
             handle, gen, plan = entry
             try:
+                handle.slices += 1
+                # Slice events are sampled 1-in-8: enough to see each
+                # query's progress cadence in the ring without paying a
+                # recorder append on every block of a long scan.
+                if handle.slices & 7 == 1:
+                    flight.record(
+                        "scheduler.slice",
+                        handle.governance.label,
+                        slice=handle.slices,
+                    )
                 next(gen)
             except StopIteration:
                 self._active.remove(entry)
@@ -327,6 +378,13 @@ class Scheduler:
         handle.finished_at = time.monotonic()
         self.completed += 1
         obs_metrics.SCHEDULER_COMPLETED.inc()
+        flight.record(
+            "scheduler.done",
+            handle.governance.label,
+            latency_s=round(handle.latency or 0.0, 6),
+            rows=handle.result.num_tuples if handle.result is not None else None,
+        )
+        self._observe_finish(handle)
         if self.tracer is not None:
             self._attach_trace(handle)
 
@@ -336,8 +394,54 @@ class Scheduler:
         handle.finished_at = time.monotonic()
         self.failed += 1
         obs_metrics.SCHEDULER_FAILED.inc()
+        flight.record(
+            "scheduler.failed",
+            handle.governance.label,
+            error=type(exc).__name__,
+            latency_s=round(handle.latency or 0.0, 6),
+        )
+        if flight.enabled():
+            # Exactly one black box per failed query: the event slice
+            # above is already in the ring, so the dump captures this
+            # failure's full lifecycle.
+            flight.RECORDER.dump_blackbox(
+                handle.governance.label,
+                error=exc,
+                governance=handle.governance.snapshot(),
+                tracer=handle._tracer,
+                replay=handle.replay,
+            )
+        self._observe_finish(handle)
         if self.tracer is not None:
             self._attach_trace(handle)
+
+    def _observe_finish(self, handle: QueryHandle) -> None:
+        """Window metrics + slow-query log shared by both outcomes."""
+        obs_metrics.SCHEDULER_INFLIGHT.set(len(self._active))
+        latency = handle.latency or 0.0
+        obs_metrics.WINDOW_QUERY_LATENCY.observe(latency)
+        obs_metrics.WINDOW_QPS.set(obs_metrics.WINDOW_QUERY_LATENCY.rate())
+        explain = None
+        if handle._tracer is not None and handle._tracer.roots:
+            from repro.obs.explain import render_explain
+
+            explain = render_explain(handle._tracer)
+        self.slowlog.observe(
+            SlowQueryEntry(
+                label=handle.governance.label,
+                table=handle.query.table,
+                latency_s=latency,
+                queue_s=handle.queue_seconds or 0.0,
+                slices=handle.slices,
+                rows=handle.result.num_tuples if handle.result is not None else None,
+                error=type(handle.error).__name__ if handle.error else None,
+                shared=handle.shared,
+                events=handle.result.events.as_dict()
+                if handle.result is not None
+                else {},
+                explain=explain,
+            )
+        )
 
     def _attach_trace(self, handle: QueryHandle) -> None:
         """Graft the query's span tree onto its own scheduler track."""
@@ -374,6 +478,24 @@ class Scheduler:
                 continue
             total += handle.result.events.pages_touched * handle.table.page_size
         return total
+
+    def board(self) -> dict:
+        """Live scheduler board for the dashboard: queues, riders, streams."""
+        return {
+            "queued": [handle.governance.label for handle in self._queue],
+            "running": [
+                {
+                    "label": handle.governance.label,
+                    "table": handle.query.table,
+                    "slices": handle.slices,
+                    "shared": handle.shared,
+                }
+                for handle, _, _ in self._active
+            ],
+            "streams": self.manager.board(),
+            "completed": self.completed,
+            "failed": self.failed,
+        }
 
     def stats(self) -> dict:
         """Workload-level summary (feeds ``run_workload``'s info dict)."""

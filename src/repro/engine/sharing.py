@@ -45,6 +45,7 @@ from repro.engine.operators.base import SALVAGEABLE_ERRORS, Operator
 from repro.engine.query import ScanQuery
 from repro.errors import EngineError, PlanError
 from repro.obs import metrics as obs_metrics
+from repro.obs import recorder as flight
 from repro.storage.table import ColumnTable, PaxTable, RowTable, Table
 
 __all__ = [
@@ -179,6 +180,12 @@ class SharedScanStream:
         """Leave the stream (end of pass, failure, or cancellation)."""
         if consumer in self._consumers:
             self._consumers.remove(consumer)
+            flight.record(
+                "share.detach",
+                consumer._flight_label(),
+                table=self.table.schema.name,
+                riders=len(self._consumers),
+            )
 
     @property
     def idle(self) -> bool:
@@ -212,6 +219,13 @@ class SharedScanStream:
                 self._failed = exc
                 raise
             self._cursor = (index + 1) % total
+            if index + 1 == total:
+                # The circular pass wrapped back to segment 0.
+                flight.record(
+                    "share.wrap",
+                    table=self.table.schema.name,
+                    riders=len(takers),
+                )
             for consumer in takers:
                 consumer._receive(index, data)
             return True
@@ -247,6 +261,12 @@ class SharedScanStream:
         if self.strict_integrity:
             raise exc
         self._corrupt[(file_key, page_id)] = (file_name, row_span, exc)
+        flight.record(
+            "storage.salvage",
+            file=file_name,
+            page=page_id,
+            error=type(exc).__name__,
+        )
 
     def _decode_paged_segment(self, table, page_id: int, lo: int, hi: int):
         """Row/PAX: one segment is exactly one page of the row file."""
@@ -397,6 +417,14 @@ class SharedScanConsumer(Operator):
         #: Segment the stream was at when we attached (for EXPLAIN).
         self.attach_cursor = share.cursor
         self._remaining = share.attach(self)
+        flight.record(
+            "share.attach",
+            self._flight_label(),
+            table=share.table.schema.name,
+            cursor=self.attach_cursor,
+            segments=share.num_segments,
+            riders=len(share.consumers),
+        )
         self._buffered: list[tuple[int, Block]] = []
         self._output: deque[Block] = deque()
         self._finalized = False
@@ -420,10 +448,36 @@ class SharedScanConsumer(Operator):
         """True once this consumer's full pass is assembled."""
         return self._finalized
 
+    def _flight_label(self) -> str | None:
+        """This rider's query label for flight-recorder attribution."""
+        governance = self.context.governance
+        return governance.label if governance is not None else None
+
     # --- stream side ------------------------------------------------------
 
     def _receive(self, index: int, data: _SegmentData) -> None:
-        """Process one delivered segment (called by the stream)."""
+        """Process one delivered segment (called by the stream).
+
+        Deliveries run during *whoever pumps* — often a peer's
+        timeslice — yet mutate this consumer's own ``context.events``.
+        So the work is wrapped in a span window on this consumer's own
+        tracer (billed to its ``next`` bucket): per-query span totals
+        stay exactly equal to the per-query plan totals even when every
+        segment arrived off peers' pumps.  Nesting is safe when the
+        delivery happens inside this consumer's own traced ``next()``
+        drain — both frames belong to the same span.
+        """
+        tracer = self.context.tracer
+        if tracer is None:
+            self._receive_inner(index, data)
+            return
+        frame = tracer.enter(self, "receive")
+        try:
+            self._receive_inner(index, data)
+        finally:
+            tracer.exit(frame, self.context.events)
+
+    def _receive_inner(self, index: int, data: _SegmentData) -> None:
         self._remaining.discard(index)
         events = self.events
         span = data.hi - data.lo
@@ -576,11 +630,33 @@ class ScanShareManager:
             self._history.append(stream)
             self.misses += 1
             obs_metrics.SCHEDULER_SHARE_MISSES.inc()
+        obs_metrics.SHARE_HIT_RATIO.set(self.hits / (self.hits + self.misses))
         return SharedScanConsumer(context, stream, query)
 
     def discard(self, consumer: SharedScanConsumer) -> None:
         """Detach a failed/cancelled rider without touching its peers."""
         consumer.share.detach(consumer)
+
+    def live_streams(self) -> list[SharedScanStream]:
+        """Streams that still have riders attached."""
+        return [
+            stream for stream in self._streams.values() if stream.consumers
+        ]
+
+    def board(self) -> list[dict]:
+        """Live-stream summaries for the scheduler dashboard."""
+        return [
+            {
+                "table": stream.table.schema.name,
+                "cursor": stream.cursor,
+                "segments": stream.num_segments,
+                "riders": [
+                    consumer._flight_label() or "?"
+                    for consumer in stream.consumers
+                ],
+            }
+            for stream in self.live_streams()
+        ]
 
     def io_bytes(self) -> int:
         """Bytes read by every stream ever created, each counted once."""

@@ -12,21 +12,43 @@ handful of integer adds per page.  :func:`disable` turns every
 overhead gate in CI measures the engine with the whole obs layer
 quiescent).
 
+Beyond cumulative counters and histograms, the registry carries two
+workload-level shapes added for the scheduler dashboard:
+:class:`Gauge` (a settable level: in-flight queries, sharing hit
+ratio) and :class:`SlidingWindow` (recent observations pruned to a
+time window, exposed as a Prometheus *summary* with windowed
+p50/p95/p99 quantiles and an event rate — the "qps over the last
+minute" view cumulative histograms cannot give).
+
+**Concurrency note.**  The registry is process-global and the
+cooperative scheduler interleaves many queries in one thread, so every
+series here is a *workload sum* by construction — counters from
+co-running queries merge, which is the intent.  Per-query attribution
+never goes through the registry: it lives on each query's own
+``ExecutionContext.events`` and per-query ``SpanTracer`` (see
+:mod:`repro.obs.trace`), so interleaving cannot cross-attribute.
+
 Exposition::
 
     python -m repro.obs.metrics                 # demo workload, print text
     python -m repro.obs.metrics --serve 9100    # serve /metrics over HTTP
+    python -m repro.obs.metrics --serve 0 --once   # one scrape, then exit
 """
 
 from __future__ import annotations
 
 import bisect
+import math
+import time
+from collections import deque
 
 __all__ = [
     "Counter",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "REGISTRY",
+    "SlidingWindow",
     "enabled",
     "enable",
     "disable",
@@ -80,6 +102,8 @@ LATENCY_BUCKETS = exponential_buckets(1e-6, 2.0, 27)
 
 def _fmt(value: float) -> str:
     """A float in Prometheus sample syntax (integers without the dot)."""
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
     if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
         return str(int(value))
     return repr(float(value))
@@ -177,21 +201,159 @@ class Histogram:
         return lines
 
 
+class Gauge:
+    """A level that can go up and down (in-flight queries, hit ratio)."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str):
+        self.name = _check_name(name)
+        self.help = help
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        if not _enabled:
+            return
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not _enabled:
+            return
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+    def render(self) -> list[str]:
+        return [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} gauge",
+            f"{self.name} {_fmt(self._value)}",
+        ]
+
+
+class SlidingWindow:
+    """Observations kept for ``window_s`` seconds, then pruned.
+
+    Where :class:`Histogram` accumulates forever (the right shape for
+    cumulative scrape-and-diff monitoring), a sliding window answers
+    "what are latency percentiles and qps *right now*" for the live
+    dashboard.  Rendered as a Prometheus summary: windowed
+    p50/p95/p99 ``quantile`` samples plus ``_sum``/``_count`` over the
+    window (``NaN`` quantiles while empty, per the exposition spec).
+
+    ``clock`` is injectable for deterministic tests; memory is bounded
+    by ``max_samples`` (oldest evicted first) regardless of rate.
+    """
+
+    __slots__ = ("name", "help", "window_s", "quantiles", "_samples", "_clock")
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        window_s: float = 60.0,
+        quantiles: tuple[float, ...] = (0.5, 0.95, 0.99),
+        max_samples: int = 8192,
+        clock=time.monotonic,
+    ):
+        if window_s <= 0:
+            raise ValueError(f"window_s must be > 0: {window_s}")
+        self.name = _check_name(name)
+        self.help = help
+        self.window_s = window_s
+        self.quantiles = quantiles
+        self._samples: deque[tuple[float, float]] = deque(maxlen=max_samples)
+        self._clock = clock
+
+    def observe(self, value: float) -> None:
+        if not _enabled:
+            return
+        self._samples.append((self._clock(), float(value)))
+
+    def _prune(self) -> None:
+        horizon = self._clock() - self.window_s
+        while self._samples and self._samples[0][0] < horizon:
+            self._samples.popleft()
+
+    def values(self) -> list[float]:
+        """In-window observations, oldest first."""
+        self._prune()
+        return [value for _, value in self._samples]
+
+    @property
+    def count(self) -> int:
+        self._prune()
+        return len(self._samples)
+
+    def rate(self) -> float:
+        """Events per second over the window (qps when fed completions)."""
+        self._prune()
+        return len(self._samples) / self.window_s
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile of in-window values; NaN when empty.
+
+        ``q`` in [0, 1].
+        """
+        values = sorted(self.values())
+        if not values:
+            return math.nan
+        rank = max(0, min(len(values) - 1, math.ceil(q * len(values)) - 1))
+        return values[rank]
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+    def render(self) -> list[str]:
+        values = self.values()
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} summary",
+        ]
+        for q in self.quantiles:
+            lines.append(
+                f'{self.name}{{quantile="{_fmt(q)}"}} {_fmt(self.percentile(q))}'
+            )
+        lines.append(f"{self.name}_sum {_fmt(sum(values))}")
+        lines.append(f"{self.name}_count {len(values)}")
+        return lines
+
+
 class MetricsRegistry:
     """Named metrics plus their text-format exposition."""
 
     def __init__(self):
-        self._metrics: dict[str, Counter | Histogram] = {}
+        self._metrics: dict[str, Counter | Gauge | Histogram | SlidingWindow] = {}
 
     def counter(self, name: str, help: str) -> Counter:
         """Get or create a counter (idempotent per name)."""
         return self._register(name, lambda: Counter(name, help), Counter)
+
+    def gauge(self, name: str, help: str) -> Gauge:
+        """Get or create a gauge (idempotent per name)."""
+        return self._register(name, lambda: Gauge(name, help), Gauge)
 
     def histogram(
         self, name: str, help: str, buckets: list[float] | None = None
     ) -> Histogram:
         """Get or create a histogram (idempotent per name)."""
         return self._register(name, lambda: Histogram(name, help, buckets), Histogram)
+
+    def window(
+        self, name: str, help: str, window_s: float = 60.0
+    ) -> SlidingWindow:
+        """Get or create a sliding-window summary (idempotent per name)."""
+        return self._register(
+            name, lambda: SlidingWindow(name, help, window_s), SlidingWindow
+        )
 
     def _register(self, name, build, expected):
         metric = self._metrics.get(name)
@@ -203,7 +365,7 @@ class MetricsRegistry:
             )
         return metric
 
-    def get(self, name: str) -> Counter | Histogram:
+    def get(self, name: str) -> Counter | Gauge | Histogram | SlidingWindow:
         return self._metrics[name]
 
     def names(self) -> list[str]:
@@ -335,6 +497,23 @@ SCHEDULER_SHARED_PAGES = REGISTRY.counter(
     "repro_scheduler_shared_pages_total",
     "Pages read by shared scan streams (each counted once per pass).",
 )
+SCHEDULER_INFLIGHT = REGISTRY.gauge(
+    "repro_scheduler_inflight",
+    "Queries currently admitted and running in the scheduler.",
+)
+SHARE_HIT_RATIO = REGISTRY.gauge(
+    "repro_scheduler_share_hit_ratio",
+    "Fraction of scheduled scans that attached to an in-progress stream.",
+)
+WINDOW_QUERY_LATENCY = REGISTRY.window(
+    "repro_window_query_latency_seconds",
+    "Per-query latency over the trailing 60 s window (summary quantiles).",
+    window_s=60.0,
+)
+WINDOW_QPS = REGISTRY.gauge(
+    "repro_window_qps",
+    "Query completions per second over the trailing 60 s window.",
+)
 
 
 # --- exposition CLI -------------------------------------------------------
@@ -356,8 +535,22 @@ def _demo_workload(rows: int) -> None:
     )
 
 
-def _serve(port: int) -> None:  # pragma: no cover - interactive
+def _serve(port: int, once: bool = False) -> int:
+    """Serve the exposition until SIGINT/SIGTERM (or one scrape).
+
+    Shutdown is cooperative: the signal handlers only set a flag, and
+    the accept loop polls it every ``server.timeout`` seconds, so a
+    ctrl-C mid-scrape finishes the response, closes the listening
+    socket (released immediately — no ``Address already in use`` on
+    restart), and exits 0 with no traceback.  ``port`` 0 binds an
+    OS-assigned port, printed before the first scrape.  With ``once``
+    the server answers exactly one request and exits (for scripts that
+    want a real HTTP scrape without managing a daemon).
+    """
     import http.server
+    import signal
+
+    stop = {"flag": False}
 
     class Handler(http.server.BaseHTTPRequestHandler):
         def do_GET(self):
@@ -367,16 +560,39 @@ def _serve(port: int) -> None:  # pragma: no cover - interactive
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
             self.wfile.write(body)
+            if once:
+                stop["flag"] = True
 
         def log_message(self, *args):
             pass
 
     server = http.server.HTTPServer(("", port), Handler)
-    print(f"serving Prometheus metrics on :{port}/metrics (ctrl-C to stop)")
+    server.timeout = 0.2
+
+    def _on_signal(signum, frame):
+        stop["flag"] = True
+
+    previous = {
+        sig: signal.signal(sig, _on_signal)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    bound = server.server_address[1]
+    print(
+        f"serving Prometheus metrics on :{bound}/metrics "
+        f"({'one scrape' if once else 'SIGINT/SIGTERM to stop'})",
+        flush=True,
+    )
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
+        while not stop["flag"]:
+            # handle_request honours server.timeout, so the stop flag
+            # is observed within 200 ms of the signal.
+            server.handle_request()
+    finally:
+        server.server_close()
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    print("metrics server stopped", flush=True)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -397,14 +613,21 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         metavar="PORT",
         default=None,
-        help="serve the exposition over HTTP instead of printing once",
+        help="serve the exposition over HTTP instead of printing once "
+        "(0 binds an OS-assigned port, printed at startup)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="with --serve: answer exactly one scrape, then exit",
     )
     args = parser.parse_args(argv)
+    if args.once and args.serve is None:
+        parser.error("--once requires --serve")
     if args.rows:
         _demo_workload(args.rows)
-    if args.serve is not None:  # pragma: no cover - interactive
-        _serve(args.serve)
-        return 0
+    if args.serve is not None:
+        return _serve(args.serve, once=args.once)
     print(render_prometheus(), end="")
     return 0
 

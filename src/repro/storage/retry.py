@@ -21,6 +21,7 @@ from typing import Callable, TypeVar
 
 from repro.errors import TransientIOError
 from repro.obs import metrics as obs_metrics
+from repro.obs import recorder as flight
 
 T = TypeVar("T")
 
@@ -77,9 +78,17 @@ def retry_io(operation: Callable[[], T], policy: RetryPolicy | None = None) -> T
         except TransientIOError:
             if retry_index == policy.max_attempts - 1:
                 obs_metrics.RETRY_EXHAUSTED.inc()
+                flight.record(
+                    "storage.retry_exhausted", attempts=policy.max_attempts
+                )
                 raise
             obs_metrics.RETRY_ATTEMPTS.inc()
             delay = policy.delay_for(retry_index)
             obs_metrics.RETRY_BACKOFF_SECONDS.inc(delay)
+            flight.record(
+                "storage.retry",
+                attempt=retry_index + 1,
+                delay_s=round(delay, 6),
+            )
             policy.sleep(delay)
     raise AssertionError("unreachable")  # pragma: no cover

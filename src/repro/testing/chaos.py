@@ -39,6 +39,7 @@ from repro.engine.governance import QueryContext, SupervisionPolicy
 from repro.engine.operators.limit import Limit, TopN
 from repro.engine.plan import aggregate_plan, scan_plan
 from repro.errors import GovernanceError, ReproError
+from repro.obs import recorder as flight
 from repro.storage.pagefile import PagedFile
 from repro.storage.table import ColumnTable, Table
 from repro.testing.genquery import GeneratedCase, generate_case
@@ -364,6 +365,20 @@ class ChaosOutcome:
         return not self.violations
 
 
+def _dump_chaos_blackbox(
+    chaos: ChaosCase, exc: Exception, governance: QueryContext
+) -> None:
+    """One replayable black box per raised engine-level chaos case."""
+    if not flight.enabled():
+        return
+    flight.RECORDER.dump_blackbox(
+        governance.label,
+        error=exc,
+        governance=governance.snapshot(),
+        replay=f"python -m repro.testing.chaos --seed {chaos.seed}",
+    )
+
+
 def run_chaos_case(chaos: ChaosCase) -> ChaosOutcome:
     """Run one chaos case and check the governance invariant."""
     outcome = ChaosOutcome(seed=chaos.seed, mode=chaos.mode)
@@ -387,11 +402,13 @@ def run_chaos_case(chaos: ChaosCase) -> ChaosOutcome:
             result = _run_serial(chaos, config, context)
     except GovernanceError as exc:
         outcome.raised = type(exc).__name__
+        _dump_chaos_blackbox(chaos, exc, governance)
     except Exception as exc:  # noqa: BLE001 - an untyped escape is a finding
         outcome.raised = type(exc).__name__
         outcome.violations.append(
             f"untyped failure escaped governance: {type(exc).__name__}: {exc}"
         )
+        _dump_chaos_blackbox(chaos, exc, governance)
     outcome.elapsed = time.monotonic() - started
     outcome.outcomes = list(governance.outcomes)
 
@@ -608,6 +625,9 @@ def run_workload_chaos_case(case: WorkloadChaosCase) -> WorkloadChaosOutcome:
             timeout=query.timeout,
             label=f"workload-chaos seed {case.seed} q{index}",
             on_tick=_workload_hook(query),
+            # The scheduler stamps this into the black box it dumps
+            # should this query fail — seeded, so the box replays.
+            replay=f"python -m repro.testing.chaos --workload-seed {case.seed}",
         )
         for index, (query, scan) in enumerate(zip(case.queries, scans))
     ]
@@ -740,9 +760,43 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--start-seed", type=int, default=0, help="first seed")
     parser.add_argument("--seed", type=int, default=None, help="replay one seed")
     parser.add_argument(
+        "--workload-seed",
+        type=int,
+        default=None,
+        help="replay one concurrent-batch chaos seed",
+    )
+    parser.add_argument(
         "--show", action="store_true", help="with --seed: print the case and exit"
     )
+    parser.add_argument(
+        "--blackbox-dir",
+        default=None,
+        metavar="DIR",
+        help="write the flight recorder's black-box dumps (one JSON per "
+        "failed query) to DIR before exiting",
+    )
     args = parser.parse_args(argv)
+
+    def dump_blackboxes() -> None:
+        if args.blackbox_dir is None:
+            return
+        paths = flight.RECORDER.write_blackboxes(args.blackbox_dir)
+        print(f"wrote {len(paths)} black box(es) to {args.blackbox_dir}")
+
+    if args.workload_seed is not None:
+        case = generate_workload_chaos_case(args.workload_seed)
+        print(case.describe())
+        if args.show:
+            return 0
+        outcome = run_workload_chaos_case(case)
+        print(
+            f"workload seed {args.workload_seed}: "
+            f"{outcome.states} in {outcome.elapsed:.3f}s"
+        )
+        for violation in outcome.violations:
+            print(f"  VIOLATION: {violation}")
+        dump_blackboxes()
+        return 0 if outcome.ok else 1
 
     if args.seed is not None:
         chaos = generate_chaos_case(args.seed)
@@ -756,6 +810,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  note: {note}")
         for violation in outcome.violations:
             print(f"  VIOLATION: {violation}")
+        dump_blackboxes()
         return 0 if outcome.ok else 1
 
     last_tick = [0.0]
@@ -772,6 +827,7 @@ def main(argv: list[str] | None = None) -> int:
 
     report = run_chaos_suite(args.cases, start_seed=args.start_seed, progress=progress)
     print(report.format())
+    dump_blackboxes()
     return 0 if report.ok else 1
 
 

@@ -1,0 +1,180 @@
+"""Regression sentinel: comparison logic, baseline picking, CLI verdicts."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def sentinel():
+    spec = importlib.util.spec_from_file_location(
+        "check_regression",
+        pathlib.Path(__file__).resolve().parent.parent
+        / "benchmarks"
+        / "check_regression.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _artifact(scale: float = 1.0, stamp: str = "2026-08-08T00:00:00+00:00"):
+    return {
+        "arms": [
+            {
+                "clients": clients,
+                "share_scans": share,
+                "makespan_seconds": 0.4 * clients * scale,
+                "qps": 80.0 / scale,
+                "latency_p50_seconds": 0.020 * clients * scale,
+                "latency_p95_seconds": 0.040 * clients * scale,
+                "latency_p99_seconds": 0.050 * clients * scale,
+            }
+            for clients in (4, 16)
+            for share in (True, False)
+        ],
+        "provenance": {
+            "timestamp_utc": stamp,
+            "calibration_fingerprint": "abc123",
+            "python": "3.12.0",
+            "numpy": "2.0.0",
+        },
+    }
+
+
+class TestCompare:
+    def test_identical_artifacts_pass(self, sentinel):
+        outcome = sentinel.compare(_artifact(), _artifact(), 0.25, 0.002)
+        assert outcome["regressions"] == []
+        assert outcome["warnings"] == []
+        assert len(outcome["checked"]) == 4 * len(sentinel.METRICS)
+
+    def test_slowdown_past_threshold_is_flagged(self, sentinel):
+        outcome = sentinel.compare(_artifact(1.5), _artifact(), 0.25, 0.002)
+        flagged = {row["metric"] for row in outcome["regressions"]}
+        assert flagged == {"p50", "p95", "p99", "makespan", "qps"}
+
+    def test_noise_floor_suppresses_tiny_absolute_deltas(self, sentinel):
+        current, baseline = _artifact(), _artifact()
+        # +60% relative on an 80 us latency: relative gate alone would
+        # fire, the 2 ms noise floor must not.
+        for artifact in (current, baseline):
+            for arm in artifact["arms"]:
+                arm["latency_p50_seconds"] = 0.00008
+        for arm in current["arms"]:
+            arm["latency_p50_seconds"] *= 1.6
+        outcome = sentinel.compare(current, baseline, 0.25, 0.002)
+        assert all(row["metric"] != "p50" for row in outcome["regressions"])
+
+    def test_speedup_never_flags(self, sentinel):
+        outcome = sentinel.compare(_artifact(0.5), _artifact(), 0.25, 0.002)
+        assert outcome["regressions"] == []
+
+    def test_qps_drop_flags_without_noise_floor(self, sentinel):
+        current, baseline = _artifact(), _artifact()
+        for arm in current["arms"]:
+            arm["qps"] = arm["qps"] / 1.4
+        outcome = sentinel.compare(current, baseline, 0.25, 0.002)
+        assert {row["metric"] for row in outcome["regressions"]} == {"qps"}
+
+    def test_unmatched_arms_warn_instead_of_misaligning(self, sentinel):
+        current, baseline = _artifact(), _artifact()
+        current["arms"] = current["arms"][:-1]
+        outcome = sentinel.compare(current, baseline, 0.25, 0.002)
+        assert any("missing from current" in w for w in outcome["warnings"])
+        assert outcome["regressions"] == []
+
+    def test_provenance_mismatch_warns(self, sentinel):
+        baseline = _artifact()
+        baseline["provenance"]["calibration_fingerprint"] = "other"
+        outcome = sentinel.compare(_artifact(), baseline, 0.25, 0.002)
+        assert any("calibration_fingerprint" in w for w in outcome["warnings"])
+
+
+class TestBaselinePicking:
+    def test_newest_timestamp_wins(self, sentinel, tmp_path):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(_artifact(stamp="2026-01-01T00:00:00+00:00")))
+        new.write_text(json.dumps(_artifact(stamp="2026-06-01T00:00:00+00:00")))
+        path, artifact = sentinel.pick_baseline([str(tmp_path / "*.json")])
+        assert path == str(new)
+        assert artifact["provenance"]["timestamp_utc"].startswith("2026-06")
+
+    def test_corrupt_baselines_are_skipped(self, sentinel, tmp_path, capsys):
+        (tmp_path / "bad.json").write_text("{not json")
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(_artifact()))
+        path, _ = sentinel.pick_baseline([str(tmp_path / "*.json")])
+        assert path == str(good)
+
+    def test_no_match_returns_none(self, sentinel, tmp_path):
+        assert sentinel.pick_baseline([str(tmp_path / "*.json")]) is None
+
+
+class TestCli:
+    def _write(self, tmp_path, name, artifact):
+        path = tmp_path / name
+        path.write_text(json.dumps(artifact))
+        return str(path)
+
+    def test_pass_and_fail_exit_codes(self, sentinel, tmp_path, capsys):
+        current = self._write(tmp_path, "current.json", _artifact())
+        baseline = self._write(tmp_path, "baseline.json", _artifact())
+        assert (
+            sentinel.main(["--current", current, "--baseline", baseline]) == 0
+        )
+        slowed = self._write(tmp_path, "slow.json", _artifact(1.8))
+        assert (
+            sentinel.main(["--current", slowed, "--baseline", baseline]) == 1
+        )
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+
+    def test_json_report(self, sentinel, tmp_path, capsys):
+        current = self._write(tmp_path, "current.json", _artifact())
+        baseline = self._write(tmp_path, "baseline.json", _artifact())
+        assert (
+            sentinel.main(
+                ["--current", current, "--baseline", baseline, "--json"]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["regressions"] == []
+        assert payload["baseline"] == baseline
+
+    def test_missing_baseline_passes_unless_required(
+        self, sentinel, tmp_path, capsys
+    ):
+        current = self._write(tmp_path, "current.json", _artifact())
+        nothing = str(tmp_path / "none-*.json")
+        assert sentinel.main(["--current", current, "--baseline", nothing]) == 0
+        assert (
+            sentinel.main(
+                [
+                    "--current", current,
+                    "--baseline", nothing,
+                    "--require-baseline",
+                ]
+            )
+            == 2
+        )
+        capsys.readouterr()
+
+    def test_missing_current_is_a_usage_error(self, sentinel, tmp_path, capsys):
+        assert (
+            sentinel.main(["--current", str(tmp_path / "absent.json")]) == 2
+        )
+        capsys.readouterr()
+
+    def test_self_test_passes_on_a_real_artifact(
+        self, sentinel, tmp_path, capsys
+    ):
+        current = self._write(tmp_path, "current.json", _artifact())
+        assert sentinel.main(["--current", current, "--self-test"]) == 0
+        assert "self-test ok" in capsys.readouterr().out

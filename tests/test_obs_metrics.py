@@ -18,8 +18,10 @@ from repro.errors import TransientIOError
 from repro.obs import metrics
 from repro.obs.metrics import (
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
+    SlidingWindow,
     exponential_buckets,
 )
 from repro.obs.provenance import git_sha, provenance
@@ -83,6 +85,86 @@ class TestHistogram:
             exponential_buckets(1.0, 1.0, 4)
 
 
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("t_gauge", "help")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec(3)
+        assert gauge.value == 4.0
+
+    def test_disabled_mutations_dropped(self):
+        gauge = Gauge("t_gauge", "help")
+        metrics.disable()
+        gauge.set(9)
+        gauge.inc()
+        metrics.enable()
+        assert gauge.value == 0.0
+
+    def test_render_is_a_gauge(self):
+        gauge = Gauge("t_gauge", "help")
+        gauge.set(1.5)
+        lines = gauge.render()
+        assert "# TYPE t_gauge gauge" in lines
+        assert "t_gauge 1.5" in lines
+
+
+class TestSlidingWindow:
+    def _window(self, clock, window_s=10.0):
+        return SlidingWindow("t_seconds", "help", window_s=window_s, clock=clock)
+
+    def test_observations_expire_past_the_window(self):
+        now = {"t": 0.0}
+        window = self._window(lambda: now["t"])
+        window.observe(1.0)
+        now["t"] = 5.0
+        window.observe(2.0)
+        assert window.values() == [1.0, 2.0]
+        now["t"] = 10.5  # first sample (t=0) is now past the 10 s horizon
+        assert window.values() == [2.0]
+        assert window.count == 1
+
+    def test_rate_is_count_over_window(self):
+        now = {"t": 0.0}
+        window = self._window(lambda: now["t"])
+        for _ in range(5):
+            window.observe(1.0)
+        assert window.rate() == pytest.approx(0.5)
+
+    def test_nearest_rank_percentiles(self):
+        now = {"t": 0.0}
+        window = self._window(lambda: now["t"])
+        for value in (10.0, 20.0, 30.0, 40.0):
+            window.observe(value)
+        assert window.percentile(0.5) == 20.0
+        assert window.percentile(0.99) == 40.0
+        assert window.percentile(0.0) == 10.0
+
+    def test_empty_window_is_nan(self):
+        import math
+
+        window = self._window(lambda: 0.0)
+        assert math.isnan(window.percentile(0.95))
+        assert 'quantile="0.95"} NaN' in "\n".join(window.render())
+
+    def test_memory_is_bounded(self):
+        window = SlidingWindow(
+            "t_seconds", "help", window_s=1e9, max_samples=4, clock=lambda: 0.0
+        )
+        for value in range(10):
+            window.observe(float(value))
+        assert window.values() == [6.0, 7.0, 8.0, 9.0]
+
+    def test_render_is_a_summary(self):
+        now = {"t": 0.0}
+        window = self._window(lambda: now["t"])
+        window.observe(0.25)
+        text = "\n".join(window.render())
+        assert "# TYPE t_seconds summary" in text
+        assert 'quantile="0.5"} 0.25' in text
+        assert "t_seconds_count 1" in text
+
+
 class TestRegistry:
     def test_get_or_create_is_idempotent(self):
         registry = MetricsRegistry()
@@ -99,10 +181,12 @@ class TestRegistry:
         """Every non-comment line must parse as `name{labels}? value`."""
         metrics.QUERIES.inc(3)
         metrics.QUERY_SECONDS.observe(0.25)
+        metrics.SCHEDULER_INFLIGHT.set(2)
+        metrics.WINDOW_QUERY_LATENCY.observe(0.01)
         text = metrics.render_prometheus()
         assert text.endswith("\n")
         sample = re.compile(
-            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le=\"[^\"]+\"\})? "
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{(le|quantile)=\"[^\"]+\"\})? "
             r"(-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|NaN)$"
         )
         seen_types = {}
@@ -111,13 +195,16 @@ class TestRegistry:
                 continue
             if line.startswith("# TYPE "):
                 _, _, name, kind = line.split(" ", 3)
-                assert kind in ("counter", "histogram")
+                assert kind in ("counter", "histogram", "gauge", "summary")
                 seen_types[name] = kind
             else:
                 assert sample.match(line), f"bad exposition line: {line!r}"
         assert seen_types["repro_queries_total"] == "counter"
         assert seen_types["repro_query_seconds"] == "histogram"
+        assert seen_types["repro_scheduler_inflight"] == "gauge"
+        assert seen_types["repro_window_query_latency_seconds"] == "summary"
         assert "repro_queries_total 3" in text
+        assert "repro_scheduler_inflight 2" in text
 
     def test_standard_metrics_present_before_any_query(self):
         text = metrics.render_prometheus()
@@ -196,6 +283,72 @@ class TestExpositionCli:
         assert metrics.main(["--rows", "0"]) == 0
         out = capsys.readouterr().out
         assert "repro_queries_total 0" in out
+
+    def test_once_without_serve_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            metrics.main(["--rows", "0", "--once"])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+
+class TestServe:
+    """The --serve endpoint must shut down cleanly (no traceback, exit 0)."""
+
+    def _spawn(self, *extra):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        root = pathlib.Path(__file__).resolve().parent.parent
+        env["PYTHONPATH"] = str(root / "src")
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro.obs.metrics", "--rows", "0",
+             "--serve", "0", *extra],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+            cwd=root,
+        )
+
+    def _wait_for_port(self, process) -> int:
+        # The banner is printed with flush=True right after binding.
+        line = process.stdout.readline()
+        match = re.search(r"on :(\d+)/metrics", line)
+        assert match, f"no listening banner, got {line!r}"
+        return int(match.group(1))
+
+    def test_sigint_exits_zero_without_traceback(self):
+        import signal
+
+        process = self._spawn()
+        try:
+            self._wait_for_port(process)
+            process.send_signal(signal.SIGINT)
+            out, err = process.communicate(timeout=30)
+        finally:
+            process.kill()
+        assert process.returncode == 0, err
+        assert "Traceback" not in err
+        assert "metrics server stopped" in out
+
+    def test_once_serves_one_scrape_and_exits(self):
+        import urllib.request
+
+        process = self._spawn("--once")
+        try:
+            port = self._wait_for_port(process)
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=10
+            ) as response:
+                body = response.read().decode()
+            out, err = process.communicate(timeout=30)
+        finally:
+            process.kill()
+        assert process.returncode == 0, err
+        assert "# TYPE repro_queries_total counter" in body
+        assert "metrics server stopped" in out
 
 
 class TestProvenance:

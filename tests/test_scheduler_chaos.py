@@ -24,6 +24,7 @@ from repro.data.tpch import generate_orders
 from repro.engine.query import ScanQuery
 from repro.engine.scheduler import QueryState, Scheduler
 from repro.errors import QueryCancelled, QueryTimeout
+from repro.obs import recorder as flight
 from repro.storage.layout import Layout
 from repro.storage.loader import load_table
 from repro.testing.chaos import (
@@ -156,3 +157,87 @@ class TestPeerIsolation:
         scheduler.run()
         assert late.state is QueryState.DONE, late.error
         assert late.result.num_tuples == 500
+
+
+class TestChaosBlackboxes:
+    """Every chaos-injected failure leaves exactly one replayable black box.
+
+    The flight recorder promises one provenance-stamped black box per
+    failed query — no more (a double dump would double-count failures
+    in post-mortems), no fewer (a silent failure is the worst outcome
+    for a black box to miss) — whose event slice names only the failing
+    query and whose replay command re-runs the seeded case.
+    """
+
+    BLACKBOX_SEEDS = 12
+
+    @staticmethod
+    def _deterministic(case) -> bool:
+        # Kill/cancel fire on tick counts and an already-expired
+        # deadline fails at the first checkpoint; 1 ms deadlines and
+        # stalls race the wall clock, so replays may legitimately
+        # differ on them.
+        return all(
+            query.injection in (None, "kill", "cancel")
+            or (query.injection == "deadline" and query.timeout == 0.0)
+            for query in case.queries
+        )
+
+    def test_every_failure_yields_exactly_one_replayable_blackbox(self):
+        seeds_with_failures = 0
+        for seed in range(self.BLACKBOX_SEEDS):
+            case = generate_workload_chaos_case(seed)
+            flight.RECORDER.clear()
+            outcome = run_workload_chaos_case(case)
+            assert outcome.ok, outcome.violations
+            failed = {
+                f"workload-chaos seed {seed} q{index}": state
+                for index, state in enumerate(outcome.states)
+                if state != "completed"
+            }
+            boxes = {box["query"]: box for box in flight.RECORDER.blackboxes}
+            assert len(flight.RECORDER.blackboxes) == len(failed), (
+                f"seed {seed}: {len(failed)} failures but "
+                f"{len(flight.RECORDER.blackboxes)} black boxes"
+            )
+            assert set(boxes) == set(failed)
+            for label, state in failed.items():
+                box = boxes[label]
+                assert box["error"]["type"] == state
+                assert box["replay"] == (
+                    f"python -m repro.testing.chaos --workload-seed {seed}"
+                )
+                assert box["events"], f"{label}: empty event slice"
+                assert all(e["query"] == label for e in box["events"])
+                assert "ticks" in box["governance"]
+                assert box["provenance"]["calibration_fingerprint"]
+            seeds_with_failures += bool(failed)
+        flight.RECORDER.clear()
+        assert seeds_with_failures >= 3, "sweep lost its failure coverage"
+
+    def test_fixed_seed_replays_to_the_same_typed_errors(self):
+        def boxed_errors(seed: int) -> list[tuple[str, str]]:
+            flight.RECORDER.clear()
+            outcome = run_workload_chaos_case(generate_workload_chaos_case(seed))
+            assert outcome.ok, outcome.violations
+            return sorted(
+                (box["query"], box["error"]["type"])
+                for box in flight.RECORDER.blackboxes
+            )
+
+        replayed = 0
+        for seed in range(2 * self.BLACKBOX_SEEDS):
+            if replayed >= 4:
+                break
+            case = generate_workload_chaos_case(seed)
+            if not self._deterministic(case):
+                continue
+            first = boxed_errors(seed)
+            if not first:
+                continue
+            assert boxed_errors(seed) == first, (
+                f"seed {seed}: replay produced different black boxes"
+            )
+            replayed += 1
+        flight.RECORDER.clear()
+        assert replayed >= 2, "not enough deterministic failing seeds"

@@ -1,0 +1,160 @@
+"""Telemetry attribution under the cooperative scheduler.
+
+The engine interleaves many queries on one thread, which is exactly
+where naive telemetry goes wrong: a global tracer would attribute one
+query's decode work to whichever peer happened to hold the timeslice,
+and shared-scan deliveries land *during a peer's pump*.  The design
+avoids cross-attribution structurally:
+
+* every scheduled query runs on its **own** ``ExecutionContext`` (its
+  ``events`` is the per-query CostEvents diff) and — when traced — its
+  **own** ``SpanTracer``;
+* a shared-scan delivery is recorded on the *receiving* consumer's
+  tracer (``SharedScanConsumer._receive`` opens a span on its own
+  context), so work done off a peer's pump still lands on the query
+  that benefited;
+* the process-wide ``metrics.REGISTRY`` is intentionally the workload
+  **sum** — never used for per-query numbers.
+
+The regression tests here pin the resulting invariant: for every query
+of a traced batch, sharing on or off, the tracer's aggregated span
+events equal that query's own result events **exactly** — nothing
+leaks in from peers, nothing leaks out.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.tpch import generate_orders
+from repro.engine.predicate import predicate_for_selectivity
+from repro.engine.query import ScanQuery
+from repro.engine.scheduler import QueryState, Scheduler
+from repro.obs import metrics
+from repro.storage.layout import Layout
+from repro.storage.loader import load_table
+
+ROWS = 4_000
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data = generate_orders(ROWS, seed=31)
+    table = load_table(data, Layout.COLUMN)
+    queries = [
+        ScanQuery(
+            "ORDERS",
+            select=("O_ORDERKEY", "O_TOTALPRICE"),
+            predicates=(
+                predicate_for_selectivity(
+                    "O_TOTALPRICE", data.column("O_TOTALPRICE"), selectivity
+                ),
+            ),
+        )
+        for selectivity in (0.1, 0.3, 0.5, 0.8)
+    ]
+    return table, queries
+
+
+def _run_traced(table, queries, share: bool) -> Scheduler:
+    scheduler = Scheduler(max_inflight=8, share_scans=share, trace=True)
+    for index, query in enumerate(queries):
+        scheduler.submit(table, query, label=f"telemetry q{index}")
+    scheduler.run()
+    assert all(h.state is QueryState.DONE for h in scheduler.handles())
+    return scheduler
+
+
+class TestPerQueryAttribution:
+    @pytest.mark.parametrize("share", [False, True], ids=["solo", "shared"])
+    def test_tracer_events_equal_result_events_exactly(self, workload, share):
+        table, queries = workload
+        scheduler = _run_traced(table, queries, share)
+        for handle in scheduler.handles():
+            traced = handle._tracer.total_events().as_dict()
+            owned = handle.result.events.as_dict()
+            assert traced == owned, (
+                f"{handle.governance.label}: span attribution drifted from "
+                f"the query's own ExecutionContext"
+            )
+
+    def test_shared_deliveries_do_not_leak_to_peers(self, workload):
+        """Distinct selectivities => distinct per-query output costs."""
+        table, queries = workload
+        scheduler = _run_traced(table, queries, share=True)
+        # Every rider filters the same delivered segments (so each
+        # examines the full table's values)...
+        for handle in scheduler.handles():
+            assert handle.result.events.values_examined >= ROWS
+        # ...but each copies only its own qualifying tuples.  Had a
+        # peer's work been attributed here, these would collapse to one
+        # value (or sum to more than the batch's true total).
+        copied = [
+            handle.result.events.bytes_copied
+            for handle in scheduler.handles()
+        ]
+        rows = [handle.result.num_tuples for handle in scheduler.handles()]
+        assert len(set(rows)) == len(rows)
+        assert sorted(copied) == [c for _, c in sorted(zip(rows, copied))]
+
+    def test_each_query_has_its_own_tracer(self, workload):
+        table, queries = workload
+        scheduler = _run_traced(table, queries, share=True)
+        tracers = [handle._tracer for handle in scheduler.handles()]
+        assert len({id(tracer) for tracer in tracers}) == len(tracers)
+        assert all(tracer.roots for tracer in tracers)
+
+
+class TestRegistryIsTheWorkloadSum:
+    def test_registry_counts_the_batch_not_the_query(self, workload):
+        table, queries = workload
+        metrics.enable()
+        metrics.REGISTRY.reset_values()
+        _run_traced(table, queries, share=False)
+        assert metrics.SCHEDULER_COMPLETED.value == len(queries)
+        # The window saw every completion; per-query latencies live on
+        # the handles, never in the registry.
+        assert metrics.WINDOW_QUERY_LATENCY.count == len(queries)
+        metrics.REGISTRY.reset_values()
+
+
+class TestBoard:
+    def test_board_tracks_queue_run_and_done(self, workload):
+        table, queries = workload
+        scheduler = Scheduler(max_inflight=2, share_scans=False)
+        for index, query in enumerate(queries):
+            scheduler.submit(table, query, label=f"board q{index}")
+        board = scheduler.board()
+        assert len(board["queued"]) == len(queries)
+        assert board["running"] == []
+
+        assert scheduler.poll()
+        board = scheduler.board()
+        assert len(board["running"]) == 2  # max_inflight admitted
+        entry = board["running"][0]
+        assert set(entry) == {"label", "table", "slices", "shared"}
+        assert entry["table"] == "ORDERS"
+        assert entry["slices"] >= 1
+
+        scheduler.run()
+        board = scheduler.board()
+        assert board["completed"] == len(queries)
+        assert board["queued"] == [] and board["running"] == []
+
+    def test_board_exposes_live_shared_streams(self, workload):
+        table, queries = workload
+        scheduler = Scheduler(max_inflight=8, share_scans=True)
+        for index, query in enumerate(queries):
+            scheduler.submit(table, query, label=f"stream q{index}")
+        assert scheduler.poll()
+        streams = scheduler.board()["streams"]
+        assert len(streams) == 1
+        stream = streams[0]
+        assert stream["table"] == "ORDERS"
+        assert stream["segments"] > 0
+        # A rider may already have finished off its peers' pumps in the
+        # first round, so the board shows between 1 and all of them.
+        riders = set(stream["riders"])
+        assert riders and riders <= {f"stream q{i}" for i in range(len(queries))}
+        scheduler.run()
+        assert scheduler.board()["streams"] == []
