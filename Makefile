@@ -2,7 +2,7 @@
 # PEP 660 editable builds; in offline environments without it, the
 # legacy `setup.py develop` path below installs identically.
 
-.PHONY: install test bench fuzz chaos chaos-deep scrub experiments experiments-md metrics overhead-gate parallel-bench workload-bench scheduler-test dashboard regression-check all
+.PHONY: install test bench fuzz write-fuzz crash-matrix chaos chaos-deep scrub experiments experiments-md metrics overhead-gate parallel-bench workload-bench scheduler-test dashboard regression-check all
 
 install:
 	pip install -e . 2>/dev/null || python setup.py develop
@@ -18,6 +18,18 @@ bench:
 # `python -m repro.testing --seed N`.
 fuzz:
 	python -m repro.testing --cases 2000
+
+# Hybrid read/write differential battery: every fuzz case carries an
+# interleaved insert/delete/merge op sequence and is checked through the
+# delta overlay, the scheduler, and a rebuilt table vs the write oracle.
+# Replay one failure with `python -m repro.testing --seed N --writes`.
+write-fuzz:
+	python -m repro.testing --cases 2000 --writes
+
+# Crash-safe merge matrix: kill the merge at every declared fault point
+# and require reopen to see exactly old-or-new with a clean scrub.
+crash-matrix:
+	pytest tests/test_merge_crash_matrix.py tests/test_write_path.py -q
 
 # Chaos harness smoke: 200 seeded lifecycle faults (worker kills/stalls,
 # slow decodes, allocation spikes, tight deadlines, mid-scan cancels) vs

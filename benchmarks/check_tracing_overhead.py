@@ -26,6 +26,12 @@ concurrent scheduler batch (where every recorder emit point lives)
 with the recorder module flag off vs on, holding the enabled-by-default
 cost of :mod:`repro.obs.recorder` to the same 5% budget.
 
+A fourth paired gate prices the hybrid write path's read-side promise:
+with nothing staged and nothing deleted, dispatching a scan through
+:func:`repro.engine.hybrid.run_scan_with_store` (the route every
+Database query now takes) must cost no more than the plain
+``run_scan`` — the empty-delta fast path is one ``has_changes`` check.
+
 Measurement is built for noisy shared runners: both arms alternate in
 paired cycles (each block re-warmed after the method swap, because
 swapping class attributes invalidates CPython's adaptive
@@ -249,6 +255,52 @@ def measure_recorder(cycles: int, samples: int) -> tuple[float, list[float]]:
     )
 
 
+#: Arm selector for the write-path gate (no method swapping: the arms
+#: differ only in which entry point dispatches the scan).
+_WRITE_ARM = {"hybrid": False}
+_WRITE_STORE = None
+
+
+def _write_sample(table, query) -> float:
+    from repro.engine.hybrid import run_scan_with_store
+
+    started = time.perf_counter()
+    if _WRITE_ARM["hybrid"]:
+        for _ in range(BATCH):
+            result = run_scan_with_store(table, query, _WRITE_STORE)
+    else:
+        for _ in range(BATCH):
+            result = run_scan(table, query)
+    assert result.num_tuples > 0
+    return time.perf_counter() - started
+
+
+def measure_write_path(cycles: int, samples: int) -> tuple[float, list[float]]:
+    """Write-path gate: plain scan vs hybrid dispatch with an empty delta.
+
+    Every table now carries a write store, so every query pays the
+    hybrid dispatch (one ``has_changes`` check) even when nothing is
+    staged.  The candidate arm routes through
+    :func:`repro.engine.hybrid.run_scan_with_store` with an attached
+    but empty store — the exact read path of a clean table — and must
+    stay within the same 5% budget as the other disabled-feature arms.
+    """
+    from repro.storage.write_store import WriteOptimizedStore
+
+    global _WRITE_STORE
+    data = generate_lineitem(ROWS, seed=5)
+    store = WriteOptimizedStore(data.schema)
+    store.attach_base(data.num_rows)
+    _WRITE_STORE = store
+    return _paired(
+        cycles,
+        samples,
+        lambda: _WRITE_ARM.__setitem__("hybrid", False),
+        lambda: _WRITE_ARM.__setitem__("hybrid", True),
+        sample=_write_sample,
+    )
+
+
 def demo_artifacts(out_dir: pathlib.Path) -> None:
     """One traced execution: Chrome trace + EXPLAIN text + flat profile."""
     data = generate_lineitem(ROWS, seed=5)
@@ -321,6 +373,9 @@ def main(argv: list[str] | None = None) -> int:
         recorder_overhead, recorder_attempts = run_gate(
             "recorder", measure_recorder
         )
+        write_overhead, write_attempts = run_gate(
+            "write-path", measure_write_path
+        )
     finally:
         metrics.enable()
 
@@ -329,6 +384,7 @@ def main(argv: list[str] | None = None) -> int:
         ("tracing no-op", tracing_overhead),
         ("governance no-op", governance_overhead),
         ("recorder enabled-by-default", recorder_overhead),
+        ("write-path empty-delta", write_overhead),
     ):
         verdict = "OK" if overhead <= threshold else "FAIL"
         ok = ok and overhead <= threshold
@@ -353,6 +409,10 @@ def main(argv: list[str] | None = None) -> int:
                 "recorder": {
                     "overhead_fraction": recorder_overhead,
                     "attempts": recorder_attempts,
+                },
+                "write_path": {
+                    "overhead_fraction": write_overhead,
+                    "attempts": write_attempts,
                 },
                 "provenance": provenance(),
             },

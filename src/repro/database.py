@@ -17,11 +17,16 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
+import time
+
+import numpy as np
+
 from repro.compression.advisor import CompressionAdvisor
 from repro.data.generator import GeneratedTable
 from repro.design.materialize import MaterializedView, ViewRouter, materialize_view
 from repro.engine.context import ExecutionContext
 from repro.engine.executor import QueryResult, run_scan
+from repro.engine.hybrid import build_overlay, run_scan_with_store
 from repro.engine.governance import (
     CancellationToken,
     CircuitBreaker,
@@ -31,10 +36,11 @@ from repro.engine.governance import (
 from repro.engine.plan import ColumnScannerKind
 from repro.engine.predicate import Predicate, predicate_for_selectivity
 from repro.engine.query import ScanQuery
-from repro.engine.scheduler import QueryHandle, Scheduler, WorkloadQuery
+from repro.engine.scheduler import JobHandle, QueryHandle, Scheduler, WorkloadQuery
 from repro.errors import ChecksumError, PlanError, StorageError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ScanMeasurement, measure_scan
+from repro.obs import metrics as obs_metrics
 from repro.obs import recorder as flight
 from repro.obs.export import QueryProfile
 from repro.obs.provenance import provenance
@@ -45,6 +51,7 @@ from repro.storage.layout import Layout
 from repro.storage.loader import load_table
 from repro.storage.scrub import CorruptionReport, scrub_table
 from repro.storage.table import Table
+from repro.storage.write_store import WriteOptimizedStore
 
 
 @dataclass
@@ -52,6 +59,11 @@ class _TableEntry:
     data: GeneratedTable
     tables: dict[Layout, Table]
     router: ViewRouter
+    #: Staged inserts + delete vector feeding the hybrid read path.
+    store: WriteOptimizedStore
+    #: Arguments of every :meth:`Database.create_view` call, replayed
+    #: after a merge so views stay consistent with the new base.
+    view_defs: list[dict]
 
 
 class Database:
@@ -77,9 +89,20 @@ class Database:
     # --- DDL -------------------------------------------------------------
 
     def create_table(
-        self, data: GeneratedTable, compress: bool = False
+        self,
+        data: GeneratedTable,
+        compress: bool = False,
+        sort_key: str | None = None,
+        write_budget: int | None = None,
     ) -> None:
-        """Register one generated table, materialized in every layout."""
+        """Register one generated table, materialized in every layout.
+
+        ``sort_key`` declares the clustering attribute: merges re-sort
+        the combined data on it (stable, so duplicate-key rows keep
+        insertion order).  ``write_budget`` caps the bytes the table's
+        write store may stage before an insert raises
+        :class:`~repro.errors.MemoryBudgetExceeded` (merge to drain).
+        """
         name = data.schema.name
         if name in self._tables:
             raise StorageError(f"table {name!r} already exists")
@@ -93,7 +116,13 @@ class Database:
             for layout in self.layouts
         }
         router = ViewRouter(tables[self.layouts[0]])
-        self._tables[name] = _TableEntry(data=data, tables=tables, router=router)
+        store = WriteOptimizedStore(
+            data.schema, sort_key=sort_key, memory_budget=write_budget
+        )
+        store.attach_base(data.num_rows)
+        self._tables[name] = _TableEntry(
+            data=data, tables=tables, router=router, store=store, view_defs=[]
+        )
 
     def create_view(
         self,
@@ -119,7 +148,36 @@ class Database:
             page_size=self.page_size,
         )
         entry.router.add_view(view)
+        entry.view_defs.append(
+            {
+                "attributes": tuple(attributes),
+                "name": view.name,
+                "sort_key": sort_key,
+                "compress": compress,
+                "use_rle": use_rle,
+            }
+        )
         return view
+
+    def _rematerialize_views(self, entry: _TableEntry) -> None:
+        """Rebuild every view of a table after its base data changed."""
+        entry.router = ViewRouter(entry.tables[self.layouts[0]])
+        for spec in entry.view_defs:
+            view = materialize_view(
+                entry.data,
+                spec["attributes"],
+                name=spec["name"],
+                sort_key=spec["sort_key"],
+                layout=(
+                    Layout.COLUMN
+                    if Layout.COLUMN in self.layouts
+                    else self.layouts[0]
+                ),
+                compress=spec["compress"],
+                use_rle=spec["use_rle"],
+                page_size=self.page_size,
+            )
+            entry.router.add_view(view)
 
     # --- catalog -----------------------------------------------------------
 
@@ -139,6 +197,243 @@ class Database:
             raise StorageError(f"no table {name!r}; have {self.tables()}")
         return self._tables[name]
 
+    # --- writes (the Figure 1 write-optimized store) -------------------------
+
+    def write_store(self, table: str) -> WriteOptimizedStore:
+        """The staging store behind one table's hybrid read path."""
+        return self._entry(table).store
+
+    def insert(self, table: str, row: tuple) -> None:
+        """Stage one tuple; visible to queries immediately (hybrid scan)."""
+        self.insert_many(table, [row])
+
+    def insert_many(self, table: str, rows: list[tuple]) -> None:
+        """Stage a batch of tuples atomically-in-memory.
+
+        Validation and the write budget are enforced row-by-row; on
+        failure the already-staged prefix remains (idempotent retries
+        should re-derive the batch from the caller's source of truth).
+        """
+        entry = self._entry(table)
+        entry.store.insert_many(rows)
+        if obs_metrics.enabled():
+            obs_metrics.WRITE_STAGED_ROWS.inc(len(rows))
+            obs_metrics.WRITE_STAGED_BYTES.set(self._staged_bytes())
+        flight.record(
+            "write.stage",
+            None,
+            table=table,
+            rows=len(rows),
+            staged=len(entry.store),
+        )
+
+    def delete(
+        self,
+        table: str,
+        predicates: tuple[Predicate, ...] = (),
+        positions=None,
+    ) -> int:
+        """Mark rows deleted in the table's delete vector.
+
+        Either by explicit global ``positions`` or by ``predicates``
+        (both base rows and staged rows are matched; no predicates
+        means *all* rows).  Deletes are logical until the next merge;
+        queries stop seeing the rows immediately.  Returns how many
+        rows were newly deleted (re-deleting is idempotent).
+        """
+        entry = self._entry(table)
+        store = entry.store
+        if positions is not None:
+            if predicates:
+                raise PlanError("pass predicates or positions, not both")
+            newly = store.delete(positions)
+        else:
+            # The probe scan runs the *base* table directly: delete
+            # positions are global (un-remapped), so the hybrid path
+            # (which renumbers around prior deletes) must not be used.
+            probe_attr = predicates[0].attr if predicates else (
+                entry.data.schema.attribute_names[0]
+            )
+            scan = ScanQuery(
+                table, select=(probe_attr,), predicates=tuple(predicates)
+            )
+            base = entry.tables[self.layouts[0]]
+            matched = list(run_scan(base, scan).positions)
+            staged = store.staged_columns()
+            if staged:
+                live = np.ones(len(store), dtype=bool)
+                for predicate in predicates:
+                    live &= predicate.evaluate(staged[predicate.attr])
+                matched.extend(
+                    (store.base_rows + np.flatnonzero(live)).tolist()
+                )
+            newly = store.delete(matched) if matched else 0
+        if obs_metrics.enabled() and newly:
+            obs_metrics.WRITE_DELETED_ROWS.inc(newly)
+        flight.record(
+            "write.delete",
+            None,
+            table=table,
+            newly=newly,
+            deleted=store.deletes.count(),
+        )
+        return newly
+
+    def merge(
+        self, table: str, verify: bool = False, background: bool = False
+    ) -> JobHandle | None:
+        """Drain the write store into freshly rebuilt read-store tables.
+
+        Foreground (default): rebuild every materialized layout with
+        deletes reclaimed and staged rows appended (re-clustered on the
+        declared ``sort_key``, stable), swap them in, re-materialize
+        views, and clear the staging area.  ``verify=True`` sweeps the
+        rebuilt pages before the swap, so a merge can never install
+        corrupt pages.
+
+        Background: the same work proceeds incrementally on the
+        database's scheduler (one layout per step) — returns a
+        :class:`~repro.engine.scheduler.JobHandle`; drive it with
+        ``db.scheduler.run()`` (or interleave your own submits).
+        Queries in flight finish on the old snapshot; writes are frozen
+        until the merge commits.
+        """
+        if background:
+            return self.start_merge(table, verify=verify)
+        entry = self._entry(table)
+        store = entry.store
+        label = f"merge {table}"
+        flight.record(
+            "write.merge.begin",
+            label,
+            table=table,
+            staged=len(store),
+            deleted=store.deletes.count(),
+        )
+        started = time.perf_counter()
+        staged = len(store)
+        reclaimed = store.deletes.count()
+        store.begin_merge()
+        try:
+            new_data = store.merged_data(entry.data.schema, entry.data.columns)
+            new_tables = {
+                layout: load_table(
+                    new_data, layout, page_size=self.page_size, verify=verify
+                )
+                for layout in self.layouts
+            }
+        except BaseException as exc:
+            store.end_merge()
+            flight.record(
+                "write.merge.abort", label, table=table, error=type(exc).__name__
+            )
+            if flight.enabled():
+                flight.RECORDER.dump_blackbox(label, error=exc)
+            if obs_metrics.enabled():
+                obs_metrics.WRITE_MERGE_ABORTS.inc()
+            raise
+        store.end_merge()
+        entry.data = new_data
+        entry.tables = new_tables
+        self._rematerialize_views(entry)
+        store.reset(new_data.num_rows)
+        if obs_metrics.enabled():
+            obs_metrics.WRITE_MERGES.inc()
+            obs_metrics.WRITE_MERGE_SECONDS.observe(time.perf_counter() - started)
+            obs_metrics.WRITE_MERGED_ROWS.inc(staged)
+            obs_metrics.WRITE_RECLAIMED_ROWS.inc(reclaimed)
+            obs_metrics.WRITE_STAGED_BYTES.set(self._staged_bytes())
+        flight.record(
+            "write.merge.commit", label, table=table, rows=new_data.num_rows
+        )
+        return None
+
+    def start_merge(self, table: str, verify: bool = False) -> JobHandle:
+        """Kick off an incremental merge on the database's scheduler.
+
+        The merge advances one step per scheduler round (rebuild, then
+        one layout load per step, then an atomic in-memory swap), so
+        queries submitted before the swap finish on the old snapshot
+        and queries submitted after it see the merged table.  The write
+        store is frozen for the duration.
+        """
+        entry = self._entry(table)
+        store = entry.store
+        label = f"background merge {table}"
+        staged = len(store)
+        reclaimed = store.deletes.count()
+        started = time.perf_counter()
+
+        def steps():
+            store.begin_merge()
+            flight.record(
+                "write.merge.begin",
+                label,
+                table=table,
+                staged=staged,
+                deleted=reclaimed,
+            )
+            try:
+                new_data = store.merged_data(
+                    entry.data.schema, entry.data.columns
+                )
+                yield
+                new_tables = {}
+                for layout in self.layouts:
+                    new_tables[layout] = load_table(
+                        new_data, layout, page_size=self.page_size, verify=verify
+                    )
+                    yield
+                # The swap is one step: queries never see a half-merged
+                # catalog entry.
+                entry.data = new_data
+                entry.tables = new_tables
+                self._rematerialize_views(entry)
+            except BaseException as exc:
+                store.end_merge()
+                flight.record(
+                    "write.merge.abort",
+                    label,
+                    table=table,
+                    error=type(exc).__name__,
+                )
+                if obs_metrics.enabled():
+                    obs_metrics.WRITE_MERGE_ABORTS.inc()
+                raise
+            store.end_merge()
+            store.reset(new_data.num_rows)
+            if obs_metrics.enabled():
+                obs_metrics.WRITE_MERGES.inc()
+                obs_metrics.WRITE_MERGE_SECONDS.observe(
+                    time.perf_counter() - started
+                )
+                obs_metrics.WRITE_MERGED_ROWS.inc(staged)
+                obs_metrics.WRITE_RECLAIMED_ROWS.inc(reclaimed)
+                obs_metrics.WRITE_STAGED_BYTES.set(self._staged_bytes())
+            flight.record(
+                "write.merge.commit", label, table=table, rows=new_data.num_rows
+            )
+            return new_data.num_rows
+
+        return self.scheduler.submit_job(steps(), label=label)
+
+    def _staged_bytes(self) -> int:
+        return sum(entry.store.staged_bytes for entry in self._tables.values())
+
+    def write_board(self) -> dict:
+        """Per-table write-store state for the dashboard panel."""
+        return {
+            name: {
+                "staged": len(entry.store),
+                "staged_bytes": entry.store.staged_bytes,
+                "deleted": entry.store.deletes.count(),
+                "base_rows": entry.store.base_rows,
+                "budget": entry.store.memory_budget,
+                "merging": entry.store.merging,
+            }
+            for name, entry in sorted(self._tables.items())
+        }
+
     # --- queries ------------------------------------------------------------
 
     def query(
@@ -156,8 +451,15 @@ class Database:
         memory_budget: int | None = None,
         cancellation: CancellationToken | None = None,
         policy: SupervisionPolicy | None = None,
+        column_scanner: ColumnScannerKind = ColumnScannerKind.PIPELINED,
     ) -> QueryResult:
         """Execute a scan, optionally routed to a covering view.
+
+        When the table has staged writes or logical deletes, the scan
+        runs the *hybrid* path (base minus delete vector, plus staged
+        rows) and its result is byte-identical to re-running the query
+        against a freshly merged table.  Views are bypassed while the
+        write store is dirty — they reflect the last merge.
 
         Strict by default: a corrupt page aborts the query with
         :class:`~repro.errors.ChecksumError`.  With ``salvage=True`` the
@@ -195,20 +497,27 @@ class Database:
                 token=cancellation,
                 label=f"query on {table}",
             )
+        store = entry.store
+        hybrid = store.has_changes
         target: Table
         if layout is not None:
             target = self.table(table, layout)
-        elif use_views:
+        elif use_views and not hybrid:
+            # A dirty write store bypasses views: they materialize the
+            # last merged snapshot, not the staged rows/deletes.
             target, _source = entry.router.route(scan)
         else:
             target = entry.tables[self.layouts[0]]
+        if hybrid and obs_metrics.enabled():
+            obs_metrics.WRITE_HYBRID_QUERIES.inc()
         if workers > 1:
             workers = max(1, min(workers, os.cpu_count() or 1))
         if workers > 1:
             from repro.engine.parallel import parallel_query
 
+            overlay = build_overlay(store, scan) if hybrid else None
             try:
-                return parallel_query(
+                result = parallel_query(
                     target,
                     scan,
                     workers=workers,
@@ -218,10 +527,24 @@ class Database:
                     policy=policy,
                     breaker=self.breaker,
                 )
+                # The overlay was snapshotted before the fan-out, so a
+                # concurrent merge cannot skew the remapping.
+                return overlay.apply(result) if overlay is not None else result
             except PlanError:
                 # Not decomposable: run the plain serial scan instead.
                 pass
-        return run_scan(target, scan, context, salvage=salvage)
+        if hybrid:
+            return run_scan_with_store(
+                target,
+                scan,
+                store,
+                context,
+                column_scanner=column_scanner,
+                salvage=salvage,
+            )
+        return run_scan(
+            target, scan, context, column_scanner=column_scanner, salvage=salvage
+        )
 
     # --- concurrent workloads ------------------------------------------------
 
@@ -231,15 +554,30 @@ class Database:
         scan: ScanQuery,
         layout: Layout | None,
         use_views: bool,
-    ) -> Table:
-        """The materialized table a scan runs against (query() routing)."""
+    ):
+        """The table a scan runs against plus its hybrid post-transform.
+
+        Returns ``(target, post)`` where ``post`` is ``None`` for a
+        clean table and otherwise applies the write-store overlay
+        (delete filtering, position remapping, staged-row append) to
+        the finished :class:`QueryResult`.  The overlay snapshots the
+        write store *now* — at submit time — so a scheduled query sees
+        a consistent image even if writes or a merge land while it is
+        queued.
+        """
         entry = self._entry(table)
+        hybrid = entry.store.has_changes
         if layout is not None:
-            return self.table(table, layout)
-        if use_views:
+            target = self.table(table, layout)
+        elif use_views and not hybrid:
             target, _source = entry.router.route(scan)
-            return target
-        return entry.tables[self.layouts[0]]
+        else:
+            target = entry.tables[self.layouts[0]]
+        if not hybrid:
+            return target, None
+        if obs_metrics.enabled():
+            obs_metrics.WRITE_HYBRID_QUERIES.inc()
+        return target, build_overlay(entry.store, scan).apply
 
     def submit(
         self,
@@ -264,7 +602,7 @@ class Database:
         ``timeout``.
         """
         scan = ScanQuery(table, select=select, predicates=predicates)
-        target = self._resolve_target(table, scan, layout, use_views)
+        target, post = self._resolve_target(table, scan, layout, use_views)
         if self._scheduler is None:
             self._scheduler = Scheduler()
         return self._scheduler.submit(
@@ -274,6 +612,7 @@ class Database:
             memory_budget=memory_budget,
             cancellation=cancellation,
             salvage=salvage,
+            post=post,
             # Empty label falls through to the scheduler's unique
             # per-submission default (black-box slices key on it).
             label=label,
@@ -329,13 +668,16 @@ class Database:
                 select=tuple(request.select),
                 predicates=tuple(request.predicates),
             )
-            target = self._resolve_target(request.table, scan, layout, use_views)
+            target, post = self._resolve_target(
+                request.table, scan, layout, use_views
+            )
             scheduler.submit(
                 target,
                 scan,
                 timeout=request.timeout,
                 memory_budget=request.memory_budget,
                 salvage=request.salvage,
+                post=post,
                 # Unique per submission: the flight recorder slices
                 # black-box events by label.
                 label=request.label

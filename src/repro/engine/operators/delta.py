@@ -1,0 +1,119 @@
+"""Hybrid base+delta operators: DeltaScan and HybridUnion.
+
+The write-optimized store (Figure 1's left-hand box) stages inserts in
+memory and marks deletes in a :class:`~repro.storage.delete_vector.
+DeleteVector`.  To make those edits visible to reads *without*
+rebuilding the read store, a query plan over an edited table becomes::
+
+    HybridUnion
+    ├── <base plan>   (any of the four scanner architectures)
+    └── DeltaScan     (the staged rows that qualify)
+
+:class:`HybridUnion` streams the base plan first, dropping rows whose
+global position is marked deleted and shifting the survivors down to
+the positions they would occupy in a freshly rebuilt table; it then
+drains :class:`DeltaScan`, whose rows already carry rebuilt-table
+positions.  The union is therefore byte-identical to scanning a table
+rebuilt as ``base minus deletes, then staged inserts in insertion
+order`` — the equivalence the differential battery in
+``tests/test_write_path.py`` pins across all four architectures.
+
+Both operators live on the ordinary :class:`~repro.engine.operators.
+base.Operator` interface, so tracing spans, governance checkpoints, and
+salvage accounting apply to the hybrid layer exactly as they do to any
+other plan node.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.engine.blocks import Block
+from repro.engine.context import ExecutionContext
+from repro.engine.operators.base import Operator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (hybrid -> plan)
+    from repro.engine.hybrid import HybridOverlay
+
+
+class DeltaScan(Operator):
+    """Stream the qualifying staged rows in insertion order.
+
+    The overlay has already projected the staged rows to the query's
+    select list, applied its predicates, dropped staged rows that were
+    deleted again before ever reaching disk, and remapped their global
+    positions to rebuilt-table coordinates — this operator only blocks
+    the result out at engine block size, keeping memory-resident delta
+    rows on the same pull-based protocol as paged base rows.
+    """
+
+    def __init__(self, context: ExecutionContext, overlay: "HybridOverlay"):
+        super().__init__(context)
+        self.overlay = overlay
+        self._offset = 0
+
+    def describe(self) -> str:
+        return f"delta rows={len(self.overlay.delta_positions)}"
+
+    def _open(self) -> None:
+        self._offset = 0
+
+    def _next(self) -> Block | None:
+        total = len(self.overlay.delta_positions)
+        if self._offset >= total:
+            return None
+        end = min(total, self._offset + self.context.block_size)
+        block = Block(
+            columns={
+                name: values[self._offset : end]
+                for name, values in self.overlay.delta_columns.items()
+            },
+            positions=self.overlay.delta_positions[self._offset : end],
+        )
+        self._offset = end
+        return block
+
+
+class HybridUnion(Operator):
+    """Base-minus-deletes followed by the delta, in rebuilt-table order.
+
+    Base blocks pass through :meth:`HybridOverlay.transform_base_block`
+    (delete filtering + position remap); empty blocks are forwarded
+    untouched so a no-result scan keeps its column structure.  Once the
+    base plan is exhausted the delta child is drained.
+    """
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        base: Operator,
+        delta: DeltaScan,
+        overlay: "HybridOverlay",
+    ):
+        super().__init__(context)
+        self.base = base
+        self.delta = delta
+        self.overlay = overlay
+        self._base_done = False
+
+    def describe(self) -> str:
+        return (
+            f"base_rows={self.overlay.base_rows} "
+            f"deleted={self.overlay.num_deleted} "
+            f"delta={len(self.overlay.delta_positions)}"
+        )
+
+    def children(self) -> list[Operator]:
+        return [self.base, self.delta]
+
+    def _open(self) -> None:
+        self._base_done = False
+
+    def _next(self) -> Block | None:
+        while not self._base_done:
+            block = self.base.next()
+            if block is None:
+                self._base_done = True
+                break
+            return self.overlay.transform_base_block(block)
+        return self.delta.next()

@@ -63,7 +63,7 @@ from repro.obs.slowlog import SlowQueryEntry, SlowQueryLog
 from repro.obs.trace import SpanTracer
 from repro.storage.table import Table
 
-__all__ = ["QueryHandle", "QueryState", "Scheduler", "WorkloadQuery"]
+__all__ = ["JobHandle", "QueryHandle", "QueryState", "Scheduler", "WorkloadQuery"]
 
 
 class QueryState(Enum):
@@ -119,6 +119,9 @@ class QueryHandle:
         #: stamp ``python -m repro.testing.chaos --seed N`` here; it
         #: rides into the black-box dump on failure).
         self.replay = ""
+        #: Optional result transform applied before the result lands
+        #: (the hybrid write path's overlay application).
+        self.post: Callable[[QueryResult], QueryResult] | None = None
         self.submitted_at = time.monotonic()
         self.admitted_at: float | None = None
         self.finished_at: float | None = None
@@ -161,6 +164,29 @@ class QueryHandle:
         return self.result
 
 
+class JobHandle:
+    """A background maintenance job (e.g. an incremental merge).
+
+    Jobs share the scheduler's cooperative loop: one generator step per
+    :meth:`Scheduler.poll` round, interleaved with query timeslices, so
+    a long merge proceeds while in-flight queries keep finishing on the
+    snapshot they started on.
+    """
+
+    def __init__(self, index: int, label: str, gen):
+        self.index = index
+        self.label = label
+        self._gen = gen
+        self.steps = 0
+        self.done = False
+        self.error: Exception | None = None
+        self.result = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+
 class Scheduler:
     """Cooperative multi-query executor over the serial engine.
 
@@ -194,6 +220,8 @@ class Scheduler:
         #: ``(handle, timeslice generator, plan)`` per admitted query.
         self._active: list[tuple] = []
         self._handles: list[QueryHandle] = []
+        #: Background maintenance jobs, one generator step per round.
+        self._jobs: list[JobHandle] = []
         self.completed = 0
         self.failed = 0
 
@@ -211,6 +239,7 @@ class Scheduler:
         column_scanner: ColumnScannerKind | None = None,
         on_tick: Callable[[QueryContext], None] | None = None,
         replay: str = "",
+        post: Callable[[QueryResult], QueryResult] | None = None,
     ) -> QueryHandle:
         """Enqueue one scan query; returns immediately with a handle.
 
@@ -218,7 +247,11 @@ class Scheduler:
         in the admission queue counts against ``timeout``.  ``replay``
         is an optional shell command that reproduces this submission
         (seeded harnesses pass it); it is stamped into the black-box
-        dump should the query fail.
+        dump should the query fail.  ``post`` transforms the collected
+        result before it lands on the handle — the hybrid write path
+        passes the overlay's ``apply`` here, snapshotted at submit
+        time, so a scheduled query sees the table as of its submission
+        even if writes land while it waits or runs.
         """
         governance = QueryContext.start(
             timeout=timeout,
@@ -237,6 +270,7 @@ class Scheduler:
             column_scanner=column_scanner or self.column_scanner,
         )
         handle.replay = replay
+        handle.post = post
         self._handles.append(handle)
         self._queue.append(handle)
         obs_metrics.SCHEDULER_SUBMITTED.inc()
@@ -311,17 +345,58 @@ class Scheduler:
             yield
         plan.close()
         merged = concat_blocks(blocks)
-        handle.result = QueryResult(
+        result = QueryResult(
             columns=merged.columns,
             positions=merged.positions,
             events=context.events,
             corruption=context.corruption,
         )
+        if handle.post is not None:
+            result = handle.post(result)
+        handle.result = result
+
+    # --- background jobs --------------------------------------------------
+
+    def submit_job(self, gen, label: str = "job") -> JobHandle:
+        """Register a background maintenance job (a step generator).
+
+        The generator is advanced one step per :meth:`poll` round,
+        interleaved with query timeslices; its return value lands on
+        ``JobHandle.result`` when it finishes.  Typed failures are
+        captured on the handle (and black-boxed), never raised into the
+        scheduler loop.
+        """
+        job = JobHandle(index=len(self._jobs), label=label, gen=gen)
+        self._jobs.append(job)
+        flight.record("scheduler.job.submit", label)
+        return job
+
+    def _tick_jobs(self) -> None:
+        for job in self._jobs:
+            if job.done:
+                continue
+            try:
+                job.steps += 1
+                next(job._gen)
+            except StopIteration as stop:
+                job.done = True
+                job.result = stop.value
+                flight.record("scheduler.job.done", job.label, steps=job.steps)
+            except ReproError as exc:
+                job.done = True
+                job.error = exc
+                flight.record(
+                    "scheduler.job.failed", job.label, error=type(exc).__name__
+                )
+                if flight.enabled():
+                    flight.RECORDER.dump_blackbox(job.label, error=exc)
 
     def poll(self) -> bool:
-        """One scheduler round: admit, then one timeslice per active query.
+        """One scheduler round: admit, then one timeslice per active query
+        and one step per background job.
 
-        Returns True while any query is queued or running.
+        Returns True while any query is queued or running, or any
+        background job is unfinished.
         """
         self._admit()
         for entry in list(self._active):
@@ -346,7 +421,12 @@ class Scheduler:
                 self._abandon_plan(plan)
                 self._finish_failed(handle, exc)
             self._admit()
-        return bool(self._active or self._queue)
+        self._tick_jobs()
+        return bool(
+            self._active
+            or self._queue
+            or any(not job.done for job in self._jobs)
+        )
 
     def _abandon_plan(self, plan) -> None:
         """Release a failed query's plan without touching share peers."""
@@ -493,6 +573,15 @@ class Scheduler:
                 for handle, _, _ in self._active
             ],
             "streams": self.manager.board(),
+            "jobs": [
+                {
+                    "label": job.label,
+                    "steps": job.steps,
+                    "done": job.done,
+                    "failed": job.failed,
+                }
+                for job in self._jobs
+            ],
             "completed": self.completed,
             "failed": self.failed,
         }

@@ -53,12 +53,17 @@ def _fmt_ms(seconds: float) -> str:
     return f"{seconds * 1e3:6.2f}ms"
 
 
-def render_board(scheduler=None, breaker=None, width: int = 78) -> str:
+def render_board(
+    scheduler=None, breaker=None, width: int = 78, write_board=None
+) -> str:
     """The scheduler board as plain text (one dashboard frame).
 
     ``scheduler`` is any object with a ``board()``/``stats()`` pair
     (``None`` renders the metrics-only view); ``breaker`` is an
-    optional :class:`~repro.engine.governance.CircuitBreaker`.
+    optional :class:`~repro.engine.governance.CircuitBreaker`;
+    ``write_board`` is the per-table write-store snapshot from
+    :meth:`repro.database.Database.write_board` (staged rows, delete
+    vector population, budget, merge-in-progress flag).
     """
     from repro.obs import recorder as flight
 
@@ -112,6 +117,35 @@ def render_board(scheduler=None, breaker=None, width: int = 78) -> str:
             )
         if not board["streams"]:
             lines.append("  (none)")
+        jobs = board.get("jobs", [])
+        if jobs:
+            lines.append(f"background jobs ({len(jobs)}):")
+            for job in jobs[:6]:
+                state = (
+                    "FAILED"
+                    if job["failed"]
+                    else ("done" if job["done"] else "running")
+                )
+                lines.append(
+                    f"  {job['label'][: width - 28]:<{width - 28}} "
+                    f"steps={job['steps']:<4} {state}"
+                )
+
+    if write_board:
+        lines.append(rule)
+        lines.append(f"write stores ({len(write_board)}):")
+        for name, state in write_board.items():
+            budget = (
+                f"{state['staged_bytes']}/{state['budget']}B"
+                if state["budget"]
+                else f"{state['staged_bytes']}B"
+            )
+            merging = "  MERGING" if state["merging"] else ""
+            lines.append(
+                f"  {name:<12} staged {state['staged']:>6} ({budget})  "
+                f"deleted {state['deleted']:>6}/{state['base_rows']}"
+                f"{merging}"[:width]
+            )
 
     if breaker is not None:
         open_keys = breaker.open_keys()
@@ -133,9 +167,9 @@ def render_board(scheduler=None, breaker=None, width: int = 78) -> str:
     return "\n".join(lines)
 
 
-def render_html(scheduler=None, breaker=None) -> str:
+def render_html(scheduler=None, breaker=None, write_board=None) -> str:
     """A standalone HTML snapshot of the board (no external assets)."""
-    body = _html.escape(render_board(scheduler, breaker))
+    body = _html.escape(render_board(scheduler, breaker, write_board=write_board))
     stats = _window_stats()
     qps = f"{stats['qps']:.1f}"
     p95 = "n/a" if math.isnan(stats["p95"]) else f"{stats['p95'] * 1e3:.2f} ms"

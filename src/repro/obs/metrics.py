@@ -514,6 +514,42 @@ WINDOW_QPS = REGISTRY.gauge(
     "repro_window_qps",
     "Query completions per second over the trailing 60 s window.",
 )
+WRITE_STAGED_ROWS = REGISTRY.counter(
+    "repro_write_staged_rows_total",
+    "Rows staged into write-optimized stores via insert.",
+)
+WRITE_DELETED_ROWS = REGISTRY.counter(
+    "repro_write_deleted_rows_total",
+    "Rows newly marked in delete vectors (idempotent re-deletes excluded).",
+)
+WRITE_STAGED_BYTES = REGISTRY.gauge(
+    "repro_write_staged_bytes",
+    "Uncompressed bytes currently staged across all write stores.",
+)
+WRITE_HYBRID_QUERIES = REGISTRY.counter(
+    "repro_write_hybrid_queries_total",
+    "Queries answered through the hybrid base+delta overlay.",
+)
+WRITE_MERGES = REGISTRY.counter(
+    "repro_write_merges_total",
+    "Write-store merges committed into the read store.",
+)
+WRITE_MERGE_ABORTS = REGISTRY.counter(
+    "repro_write_merge_aborts_total",
+    "Merges aborted (crash injection, governance, or I/O failure).",
+)
+WRITE_MERGE_SECONDS = REGISTRY.histogram(
+    "repro_write_merge_seconds",
+    "Wall-clock time of one write-store merge (rebuild through commit).",
+)
+WRITE_MERGED_ROWS = REGISTRY.counter(
+    "repro_write_merged_rows_total",
+    "Staged rows drained into the read store by committed merges.",
+)
+WRITE_RECLAIMED_ROWS = REGISTRY.counter(
+    "repro_write_reclaimed_rows_total",
+    "Deleted rows physically reclaimed by committed merges.",
+)
 
 
 # --- exposition CLI -------------------------------------------------------

@@ -262,7 +262,9 @@ def _check_page_count(
 # --- public API -----------------------------------------------------------------
 
 
-def save_table(table: Table, directory: str | pathlib.Path) -> pathlib.Path:
+def save_table(
+    table: Table, directory: str | pathlib.Path, crash_hook=None
+) -> pathlib.Path:
     """Persist a loaded table into ``directory``, atomically.
 
     The table is written into a hidden temp directory next to the
@@ -270,6 +272,12 @@ def save_table(table: Table, directory: str | pathlib.Path) -> pathlib.Path:
     interrupted save can never produce a directory that opens.
     Overwriting an existing table swaps the directories; the old table
     remains openable until the swap.
+
+    ``crash_hook``, when given, is called with a fault-point name after
+    each durability step (``staging.created``, ``pages.written``,
+    ``meta.written``, ``staging.fsynced``, ``table.renamed``); a hook
+    that raises simulates a crash at exactly that point, which the
+    merge crash matrix uses to prove old-or-new atomicity.
     """
     directory = pathlib.Path(directory)
     directory.parent.mkdir(parents=True, exist_ok=True)
@@ -277,6 +285,8 @@ def save_table(table: Table, directory: str | pathlib.Path) -> pathlib.Path:
     if staging.exists():
         shutil.rmtree(staging)
     staging.mkdir()
+    if crash_hook is not None:
+        crash_hook("staging.created")
     meta: dict = {
         "format_version": _FORMAT_VERSION,
         "layout": table.layout.value,
@@ -301,11 +311,17 @@ def save_table(table: Table, directory: str | pathlib.Path) -> pathlib.Path:
         meta["columns"] = columns_meta
     else:
         raise StorageError(f"unsupported table type: {type(table).__name__}")
+    if crash_hook is not None:
+        crash_hook("pages.written")
     meta[_META_CRC_KEY] = _meta_checksum(meta)
     _write_file_durably(
         staging / _META_NAME, json.dumps(meta, indent=2).encode("utf-8")
     )
+    if crash_hook is not None:
+        crash_hook("meta.written")
     _fsync_directory(staging)
+    if crash_hook is not None:
+        crash_hook("staging.fsynced")
     if directory.exists():
         retired = directory.parent / f".{directory.name}.old"
         if retired.exists():
@@ -316,6 +332,8 @@ def save_table(table: Table, directory: str | pathlib.Path) -> pathlib.Path:
     else:
         staging.rename(directory)
     _fsync_directory(directory.parent)
+    if crash_hook is not None:
+        crash_hook("table.renamed")
     return directory
 
 

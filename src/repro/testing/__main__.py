@@ -20,8 +20,8 @@ from repro.testing.genquery import generate_case
 from repro.testing.harness import SuiteReport, minimize_case, run_case, run_suite
 
 
-def _replay(seed: int, show_only: bool) -> int:
-    case = generate_case(seed)
+def _replay(seed: int, show_only: bool, writes: bool = False) -> int:
+    case = generate_case(seed, force_writes=writes)
     print(case.describe())
     if show_only:
         return 0
@@ -53,16 +53,29 @@ def main(argv: list[str] | None = None) -> int:
         "--no-metamorphic", action="store_true", help="oracle diffs only"
     )
     parser.add_argument(
+        "--writes",
+        action="store_true",
+        help="force an interleaved insert/delete/merge op sequence onto "
+        "every case (hybrid read/write differential battery)",
+    )
+    parser.add_argument(
         "--failures-json",
         metavar="PATH",
         default=None,
         help="write failing seeds (with repro commands and minimized cases) "
         "as JSON; written even when empty, so CI can always upload it",
     )
+    parser.add_argument(
+        "--blackbox-dir",
+        metavar="DIR",
+        default=None,
+        help="after the run, dump every flight-recorder black box "
+        "(captured e.g. by aborted merges) into DIR as JSON",
+    )
     args = parser.parse_args(argv)
 
     if args.seed is not None:
-        return _replay(args.seed, args.show)
+        return _replay(args.seed, args.show, writes=args.writes)
 
     started = time.perf_counter()
     last_tick = [0.0]
@@ -82,6 +95,7 @@ def main(argv: list[str] | None = None) -> int:
         start_seed=args.start_seed,
         metamorphic=not args.no_metamorphic,
         progress=progress,
+        force_writes=args.writes,
     )
     print(report.format())
     if args.failures_json is not None:
@@ -101,7 +115,8 @@ def main(argv: list[str] | None = None) -> int:
                             "seed": seed,
                             "message": message,
                             "minimized": minimized,
-                            "repro": f"python -m repro.testing --seed {seed}",
+                            "repro": "python -m repro.testing --seed "
+                            f"{seed}{' --writes' if args.writes else ''}",
                         }
                         for seed, message, minimized in report.failures
                     ],
@@ -112,6 +127,15 @@ def main(argv: list[str] | None = None) -> int:
             + "\n",
             encoding="utf-8",
         )
+    if args.blackbox_dir is not None:
+        import pathlib
+
+        from repro.obs import recorder as flight
+
+        directory = pathlib.Path(args.blackbox_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        written = flight.RECORDER.write_blackboxes(directory)
+        print(f"{len(written)} black box(es) written to {directory}", file=sys.stderr)
     return 0 if report.ok else 1
 
 

@@ -94,6 +94,16 @@ class GeneratedCase:
     memory_budget: int | None = None
     #: Notes appended by the minimizer describing applied shrink steps.
     shrink_steps: list[str] = field(default_factory=list)
+    #: Interleaved insert/delete/merge ops applied before the query
+    #: (see :mod:`repro.testing.writes`).  Non-empty cases run the
+    #: hybrid read/write differential battery instead of the plain
+    #: matrix: every scanner architecture's hybrid scan, the scheduler
+    #: (sharing on/off per ``sharing``), and a rebuilt-table leg must
+    #: all equal the pure-Python :class:`~repro.testing.writes
+    #: .WriteModel` oracle.
+    write_ops: list = field(default_factory=list)
+    #: Scheduler shared-scan toggle for the write-case scheduler leg.
+    sharing: bool = False
 
     def describe(self) -> str:
         """One replayable human-readable summary."""
@@ -136,6 +146,11 @@ class GeneratedCase:
             parts.append(
                 f"governance: deadline={self.deadline} "
                 f"budget={self.memory_budget}"
+            )
+        if self.write_ops:
+            parts.append(
+                f"writes[sharing={'on' if self.sharing else 'off'}]: "
+                + "; ".join(op.describe() for op in self.write_ops)
             )
         if self.shrink_steps:
             parts.append("shrunk: " + "; ".join(self.shrink_steps))
@@ -398,12 +413,19 @@ def _join_case(
     )
 
 
-def generate_case(seed: int) -> GeneratedCase:
-    """The differential test case for one seed (pure function)."""
+def generate_case(seed: int, force_writes: bool = False) -> GeneratedCase:
+    """The differential test case for one seed (pure function).
+
+    With ``force_writes`` the case is always a plain scan and carries a
+    seed-derived interleaving of insert/delete/merge ops (see
+    :mod:`repro.testing.writes`); the op stream is drawn from an
+    independent rng, so ``generate_case(seed)`` without writes is
+    byte-identical to what it produced before writes existed.
+    """
     rng = random.Random(seed)
     nprng = np.random.default_rng(seed)
     featured = FEATURED_KINDS[seed % len(FEATURED_KINDS)]
-    kind = rng.choice(_CASE_KINDS)
+    kind = "scan" if force_writes else rng.choice(_CASE_KINDS)
     page_size = rng.choice([512, 1024, 4096])
 
     if kind == "join":
@@ -449,5 +471,18 @@ def generate_case(seed: int) -> GeneratedCase:
     if rng.random() < 0.10:
         case = replace(
             case, memory_budget=rng.choice([4_096, 16_384, 262_144, 4_000_000])
+        )
+    if force_writes:
+        from repro.testing.writes import generate_write_ops
+
+        # Write cases isolate the hybrid read/write differential: no
+        # governance knobs (covered by dedicated tests) and a
+        # seed-derived sharing toggle for the scheduler leg.
+        case = replace(
+            case,
+            deadline=None,
+            memory_budget=None,
+            write_ops=generate_write_ops(seed, data),
+            sharing=bool(seed % 2),
         )
     return case

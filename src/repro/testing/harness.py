@@ -61,6 +61,7 @@ from repro.testing.oracle import (
     oracle_topn,
     pyvalue,
 )
+from repro.testing.writes import WriteModel, WriteOp
 
 
 @dataclass(frozen=True)
@@ -111,6 +112,9 @@ class SuiteReport:
     coverage: set[tuple[str, str]] = field(default_factory=set)
     #: (seed, first failure message, minimized description) triples.
     failures: list[tuple[int, str, str]] = field(default_factory=list)
+    #: Whether the suite forced write-op interleavings onto every case
+    #: (replay with ``--writes``).
+    writes: bool = False
 
     @property
     def ok(self) -> bool:
@@ -141,9 +145,10 @@ class SuiteReport:
             f"{len(self.failures)} failure(s)",
             self.coverage_table(),
         ]
+        flag = " --writes" if self.writes else ""
         for seed, message, minimized in self.failures:
             lines.append(f"FAIL seed {seed}: {message}")
-            lines.append(f"  repro: python -m repro.testing --seed {seed}")
+            lines.append(f"  repro: python -m repro.testing --seed {seed}{flag}")
             if minimized:
                 lines.append("  minimized:\n    " + minimized.replace("\n", "\n    "))
         return "\n".join(lines)
@@ -492,11 +497,144 @@ def metamorphic_failures(case: GeneratedCase) -> list[str]:
     return failures
 
 
+# --- write cases ---------------------------------------------------------------
+
+
+def _write_expected(case: GeneratedCase) -> OracleResult:
+    """The WriteModel oracle's answer after the whole op sequence."""
+    model = WriteModel(case.tables[case.query.table])
+    for op in case.write_ops:
+        model.apply(op)
+    return oracle_scan(model.snapshot(), case.query)
+
+
+def _write_database(case: GeneratedCase, config: ScanConfig):
+    """A single-layout Database with the case's ops applied in order."""
+    from repro.database import Database
+
+    name = case.query.table
+    data = case.tables[name]
+    specs = _effective_specs(case.codec_specs.get(name, {}), config.layout)
+    bound = data.with_schema(data.schema.with_codecs(specs))
+    db = Database(layouts=(config.layout,), page_size=case.page_size)
+    db.create_table(bound)
+    for op in case.write_ops:
+        if op.kind == "insert":
+            db.insert_many(name, list(op.rows))
+        elif op.kind == "delete":
+            db.delete(name, positions=list(op.positions))
+        elif op.kind == "delete_where":
+            db.delete(name, predicates=(op.predicate,))
+        else:
+            db.merge(name)
+    return db
+
+
+def _run_write_case(case: GeneratedCase) -> CaseOutcome:
+    """The hybrid read/write differential battery for one case.
+
+    Every scanner architecture answers the query through the hybrid
+    base+delta path after the interleaved op sequence; the column
+    config additionally runs the scheduler leg (sharing per the case),
+    a rebuilt-table leg (atomic merge product, refreshed codecs), and —
+    when the case is parallel — the partitioned executor with the
+    overlay applied post-hoc.  All must equal the pure-Python
+    :class:`~repro.testing.writes.WriteModel` oracle byte-for-byte.
+    """
+    outcome = CaseOutcome(seed=case.seed)
+    expected = _write_expected(case)
+    name = case.query.table
+    for config in CONFIGS:
+        try:
+            db = _write_database(case, config)
+            result = db.query(
+                name,
+                select=case.query.select,
+                predicates=case.query.predicates,
+                column_scanner=config.column_scanner,
+            )
+            error = compare_result(case, result, expected)
+        except Exception as exc:  # noqa: BLE001 - a crash is a finding
+            error = f"{type(exc).__name__}: {exc}"
+        outcome.checks += 1
+        if error:
+            outcome.failures.append(f"[{config.name} hybrid] {error}")
+        outcome.coverage |= _case_coverage(case, config)
+        if outcome.failures:
+            return outcome
+
+        # Scheduler leg: same snapshot through the cooperative
+        # scheduler, shared circular scans per the case's toggle.
+        try:
+            handles = db.run_workload(
+                [
+                    dict(
+                        table=name,
+                        select=case.query.select,
+                        predicates=case.query.predicates,
+                    )
+                ],
+                share_scans=case.sharing,
+            )
+            handle = handles[0]
+            if handle.error is not None:
+                error = f"{type(handle.error).__name__}: {handle.error}"
+            else:
+                error = compare_result(case, handle.result, expected)
+        except Exception as exc:  # noqa: BLE001
+            error = f"{type(exc).__name__}: {exc}"
+        outcome.checks += 1
+        if error:
+            outcome.failures.append(
+                f"[{config.name} scheduler sharing={case.sharing}] {error}"
+            )
+            return outcome
+
+    # Rebuilt-table leg: the crash-safe merge product (with refreshed
+    # codecs) must answer identically to the still-hybrid store.
+    config = CONFIGS[2]
+    try:
+        db = _write_database(case, config)
+        rebuilt = db.write_store(name).rebuild(db.table(name))
+        from repro.engine.executor import run_scan
+
+        error = compare_result(case, run_scan(rebuilt, case.query), expected)
+    except Exception as exc:  # noqa: BLE001
+        error = f"{type(exc).__name__}: {exc}"
+    outcome.checks += 1
+    if error:
+        outcome.failures.append(f"[column rebuilt] {error}")
+        return outcome
+
+    # Parallel leg: partitioned scan of the base plus post-hoc overlay.
+    if case.workers > 1:
+        try:
+            db = _write_database(case, config)
+            result = db.query(
+                name,
+                select=case.query.select,
+                predicates=case.query.predicates,
+                workers=case.workers,
+                partitions=case.num_partitions,
+            )
+            error = compare_result(case, result, expected)
+        except Exception as exc:  # noqa: BLE001
+            error = f"{type(exc).__name__}: {exc}"
+        outcome.checks += 1
+        if error:
+            outcome.failures.append(
+                f"[column workers={case.workers}] {error}"
+            )
+    return outcome
+
+
 # --- case driver --------------------------------------------------------------
 
 
 def run_case(case: GeneratedCase, metamorphic: bool = True) -> CaseOutcome:
     """Run one case through the full matrix plus the invariant checks."""
+    if case.write_ops:
+        return _run_write_case(case)
     outcome = CaseOutcome(seed=case.seed)
     expected = _oracle_expected(case)
     for config in CONFIGS:
@@ -554,6 +692,20 @@ def _with_rows(case: GeneratedCase, count: int) -> GeneratedCase:
     return replace(case, tables=tables)
 
 
+def _write_ops_valid(case: GeneratedCase) -> bool:
+    """Whether every delete position still addresses an existing row."""
+    if not case.write_ops:
+        return True
+    model = WriteModel(case.tables[case.query.table])
+    for op in case.write_ops:
+        if op.kind == "delete" and any(
+            position >= len(model.rows) for position in op.positions
+        ):
+            return False
+        model.apply(op)
+    return True
+
+
 def _required_attrs(case: GeneratedCase) -> set[str]:
     needed: set[str] = set()
     if case.aggregate is not None:
@@ -599,6 +751,44 @@ def minimize_case(
     changed = True
     while changed and spent < budget:
         changed = False
+        # Write batches shrink FIRST: most hybrid-path failures need
+        # only a fragment of the op interleaving, and a short op list
+        # makes every later shrink (rows, predicates, codecs) cheaper
+        # to evaluate.  Only structurally valid shortenings are tried —
+        # dropping an insert can strand a later delete's positions.
+        if case.write_ops:
+            for index in range(len(case.write_ops) - 1, -1, -1):
+                ops = case.write_ops[:index] + case.write_ops[index + 1 :]
+                candidate = replace(case, write_ops=ops)
+                if not _write_ops_valid(candidate):
+                    continue
+                shrunk = attempt(
+                    candidate,
+                    f"drop write op {case.write_ops[index].describe()}",
+                )
+                if shrunk is not None:
+                    case = shrunk
+                    changed = True
+                    break
+            if changed:
+                continue
+            for index, op in enumerate(case.write_ops):
+                if op.kind != "insert" or len(op.rows) < 2:
+                    continue
+                ops = list(case.write_ops)
+                ops[index] = replace(op, rows=op.rows[: len(op.rows) // 2])
+                candidate = replace(case, write_ops=ops)
+                if not _write_ops_valid(candidate):
+                    continue
+                shrunk = attempt(
+                    candidate, f"halve insert #{index} to {len(op.rows) // 2}"
+                )
+                if shrunk is not None:
+                    case = shrunk
+                    changed = True
+                    break
+            if changed:
+                continue
         # Does the failure need governance at all?  Shrinking toward
         # "no governance" first separates lifecycle bugs from engine
         # bugs that merely surfaced under a governed run.
@@ -622,11 +812,13 @@ def minimize_case(
         # Halve the data.
         rows = max(d.num_rows for d in case.tables.values())
         if rows > 1:
-            smaller = attempt(_with_rows(case, rows // 2), f"rows->{rows // 2}")
-            if smaller is not None:
-                case = smaller
-                changed = True
-                continue
+            halved = _with_rows(case, rows // 2)
+            if _write_ops_valid(halved):
+                smaller = attempt(halved, f"rows->{rows // 2}")
+                if smaller is not None:
+                    case = smaller
+                    changed = True
+                    continue
         # Drop predicates one at a time.
         for index in range(len(case.query.predicates)):
             predicates = (
@@ -687,12 +879,20 @@ def run_suite(
     metamorphic: bool = True,
     minimize: bool = True,
     progress: Callable[[int, SuiteReport], None] | None = None,
+    force_writes: bool = False,
 ) -> SuiteReport:
-    """Fuzz ``num_cases`` consecutive seeds and aggregate the outcome."""
-    report = SuiteReport(start_seed=start_seed, num_cases=num_cases)
+    """Fuzz ``num_cases`` consecutive seeds and aggregate the outcome.
+
+    With ``force_writes`` every case carries an interleaved
+    insert/delete/merge op sequence and runs the hybrid read/write
+    differential battery instead of the plain matrix.
+    """
+    report = SuiteReport(
+        start_seed=start_seed, num_cases=num_cases, writes=force_writes
+    )
     for offset in range(num_cases):
         seed = start_seed + offset
-        case = generate_case(seed)
+        case = generate_case(seed, force_writes=force_writes)
         outcome = run_case(case, metamorphic=metamorphic)
         report.checks += outcome.checks
         report.coverage |= outcome.coverage

@@ -1,0 +1,210 @@
+"""Write-path fuzzing: interleaved insert/delete/merge ops plus an oracle.
+
+:class:`WriteModel` is the pure-Python reference implementation of the
+write-optimized store's observable semantics: rows live in one flat
+list (base snapshot order, then staged rows in insertion order), a
+delete marks a row dead in place, and a merge compacts the list to its
+live rows (re-clustered on the sort key, stable, when one is declared).
+A query against the model is just :func:`~repro.testing.oracle
+.oracle_scan` over its :meth:`~WriteModel.snapshot` — no bitmap, no
+position remapping, no engine code — so agreement with the hybrid
+base+delta scan is meaningful evidence the delete-vector arithmetic is
+right.
+
+:func:`generate_write_ops` derives a seed-replayable interleaving for a
+generated case.  Ops are built against a scratch model as they are
+drawn, so every delete position is valid at the moment it will be
+applied no matter how many merges precede it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.generator import GeneratedTable
+from repro.engine.predicate import ComparisonOp, Predicate
+from repro.testing.oracle import _predicate_fn, pyvalue
+from repro.types.datatypes import IntType
+from repro.types.schema import TableSchema
+
+__all__ = ["WriteOp", "WriteModel", "generate_write_ops"]
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """One step of an interleaved write workload (pure data)."""
+
+    kind: str  #: "insert" | "delete" | "delete_where" | "merge"
+    rows: tuple = ()
+    positions: tuple = ()
+    predicate: Predicate | None = None
+
+    def describe(self) -> str:
+        if self.kind == "insert":
+            return f"insert {len(self.rows)} row(s)"
+        if self.kind == "delete":
+            return f"delete positions {list(self.positions)}"
+        if self.kind == "delete_where":
+            return f"delete where {self.predicate.describe()}"
+        return "merge"
+
+
+class WriteModel:
+    """Reference state machine for the hybrid read/write path."""
+
+    def __init__(self, data: GeneratedTable, sort_key: str | None = None):
+        self.schema: TableSchema = data.schema
+        self.sort_key = sort_key
+        names = self.schema.attribute_names
+        plain = {name: data.column(name).tolist() for name in names}
+        self.rows: list[tuple] = [
+            tuple(pyvalue(plain[name][index]) for name in names)
+            for index in range(data.num_rows)
+        ]
+        self.dead: list[bool] = [False] * len(self.rows)
+
+    # --- ops --------------------------------------------------------------
+
+    def apply(self, op: WriteOp) -> None:
+        if op.kind == "insert":
+            self.rows.extend(op.rows)
+            self.dead.extend([False] * len(op.rows))
+        elif op.kind == "delete":
+            for position in op.positions:
+                self.dead[position] = True
+        elif op.kind == "delete_where":
+            test = _predicate_fn(op.predicate)
+            index = self.schema.attribute_names.index(op.predicate.attr)
+            for row_index, row in enumerate(self.rows):
+                if not self.dead[row_index] and test(row[index]):
+                    self.dead[row_index] = True
+        elif op.kind == "merge":
+            self.merge()
+        else:  # pragma: no cover - closed set
+            raise ValueError(f"unknown write op {op.kind!r}")
+
+    def merge(self) -> None:
+        live = [row for row, dead in zip(self.rows, self.dead) if not dead]
+        if self.sort_key is not None:
+            index = self.schema.attribute_names.index(self.sort_key)
+            live.sort(key=lambda row: row[index])  # list.sort is stable
+        self.rows = live
+        self.dead = [False] * len(live)
+
+    # --- views ------------------------------------------------------------
+
+    @property
+    def num_live(self) -> int:
+        return sum(not dead for dead in self.dead)
+
+    def live_rows(self) -> list[tuple]:
+        return [row for row, dead in zip(self.rows, self.dead) if not dead]
+
+    def live_positions(self) -> list[int]:
+        """Global (un-remapped) positions of the live rows."""
+        return [i for i, dead in enumerate(self.dead) if not dead]
+
+    def snapshot(self) -> GeneratedTable:
+        """The logical table as a plain GeneratedTable (live rows only).
+
+        Row order matches both the hybrid scan's output order and a
+        freshly rebuilt table: base order, then insertion order, with
+        deleted rows squeezed out.
+        """
+        live = self.live_rows()
+        columns = {}
+        for index, attr in enumerate(self.schema):
+            raw = [row[index] for row in live]
+            columns[attr.name] = np.asarray(
+                raw, dtype=attr.attr_type.numpy_dtype()
+            )
+        return GeneratedTable(schema=self.schema, columns=columns)
+
+
+# --- op generation --------------------------------------------------------------
+
+
+def _insert_rows(
+    rng: random.Random, model: WriteModel, count: int
+) -> tuple[tuple, ...]:
+    """Rows drawn from (and mutated off) the live domain.
+
+    Values mostly repeat existing ones — exercising dictionary/packed
+    codec domains — with occasional out-of-domain ints that force the
+    merge-time codec refresh to widen or downgrade.
+    """
+    live = model.live_rows()
+    rows = []
+    for _ in range(count):
+        row = []
+        for index, attr in enumerate(model.schema):
+            if live and rng.random() < 0.7:
+                value = live[rng.randrange(len(live))][index]
+            elif isinstance(attr.attr_type, IntType):
+                value = rng.randint(-5_000, 1_000_000)
+            else:
+                width = attr.attr_type.width
+                length = rng.randint(0, width)
+                value = bytes(
+                    rng.choice(b"abcdefghijklmnopqrstuvwxyz")
+                    for _ in range(length)
+                )
+            if isinstance(attr.attr_type, IntType) and rng.random() < 0.1:
+                value = value + rng.choice([-1, 1, 1_000])
+            row.append(value)
+        rows.append(tuple(row))
+    return tuple(rows)
+
+
+def _delete_predicate(rng: random.Random, model: WriteModel) -> Predicate | None:
+    live = model.live_rows()
+    if not live:
+        return None
+    attr = rng.choice(model.schema.attributes)
+    index = model.schema.attribute_names.index(attr.name)
+    value = live[rng.randrange(len(live))][index]
+    op = rng.choice((ComparisonOp.EQ, ComparisonOp.LE, ComparisonOp.GT))
+    return Predicate(attr.name, op, value)
+
+
+def generate_write_ops(
+    seed: int, data: GeneratedTable, max_ops: int = 8
+) -> list[WriteOp]:
+    """A seed-replayable interleaving of insert/delete/merge ops.
+
+    Drawn from an rng stream independent of the case generator's, so
+    adding writes to a seed never perturbs the case's tables or query.
+    Each op is validated against a scratch model *at its position in
+    the sequence*: delete positions always address rows that exist when
+    the op runs, including rows staged earlier in the same sequence and
+    surviving any interleaved merges.
+    """
+    rng = random.Random((seed << 4) ^ 0x57524954)
+    model = WriteModel(data)
+    ops: list[WriteOp] = []
+    for _ in range(rng.randint(1, max_ops)):
+        roll = rng.random()
+        total = len(model.rows)
+        if roll < 0.45 or total == 0:
+            op = WriteOp(
+                kind="insert", rows=_insert_rows(rng, model, rng.randint(1, 6))
+            )
+        elif roll < 0.65:
+            count = min(total, rng.randint(1, 4))
+            op = WriteOp(
+                kind="delete",
+                positions=tuple(sorted(rng.sample(range(total), count))),
+            )
+        elif roll < 0.8:
+            predicate = _delete_predicate(rng, model)
+            if predicate is None:
+                continue
+            op = WriteOp(kind="delete_where", predicate=predicate)
+        else:
+            op = WriteOp(kind="merge")
+        model.apply(op)
+        ops.append(op)
+    return ops

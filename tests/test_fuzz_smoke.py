@@ -37,6 +37,18 @@ def test_fuzz_smoke_quota():
     _assert_clean(run_suite(SMOKE_CASES, start_seed=0))
 
 
+def test_fuzz_write_smoke_quota():
+    """Hybrid read/write battery: 200 seeded interleaved-op cases."""
+    report = run_suite(SMOKE_CASES, start_seed=0, force_writes=True)
+    assert report.ok, "\n" + report.format()
+
+
 @pytest.mark.fuzz
 def test_fuzz_deep_sweep():
     _assert_clean(run_suite(DEEP_CASES, start_seed=0))
+
+
+@pytest.mark.fuzz
+def test_fuzz_deep_write_sweep():
+    report = run_suite(DEEP_CASES, start_seed=0, force_writes=True)
+    assert report.ok, "\n" + report.format()

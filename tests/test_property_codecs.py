@@ -217,3 +217,135 @@ def test_compression_never_negative_sized(raw):
         payload, _state = codec.encode_page(values)
         expected_bits = codec.bits_per_value * len(values)
         assert len(payload) == (expected_bits + 7) // 8
+
+
+# --- delete-vector bitmap codec -------------------------------------------------
+
+from repro.errors import ChecksumError, StorageError  # noqa: E402
+from repro.storage.delete_vector import DeleteVector  # noqa: E402
+
+dv_sizes = st.integers(min_value=0, max_value=2_000)
+
+
+@st.composite
+def dv_vectors(draw):
+    size = draw(dv_sizes)
+    positions = (
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=size - 1),
+                max_size=min(size, 200),
+            )
+        )
+        if size
+        else []
+    )
+    vector = DeleteVector(size)
+    for position in positions:
+        vector.set(position)
+    return vector, positions
+
+
+@settings(max_examples=80, deadline=None)
+@given(dv_vectors(), st.integers(min_value=16, max_value=4096))
+def test_delete_vector_roundtrip_any_page_size(built, page_bytes):
+    vector, _positions = built
+    blob = vector.to_bytes(page_bytes=page_bytes)
+    back = DeleteVector.from_bytes(blob)
+    assert back == vector
+    assert back.size == vector.size
+    assert back.count() == vector.count()
+
+
+@settings(max_examples=80, deadline=None)
+@given(dv_vectors())
+def test_delete_vector_popcount_matches_oracle(built):
+    vector, positions = built
+    oracle = set(positions)
+    assert vector.count() == len(oracle)
+    assert vector.deleted_positions().tolist() == sorted(oracle)
+    mask = vector.mask()
+    assert mask.sum() == len(oracle)
+    for position in list(oracle)[:20]:
+        assert vector.test(position)
+    # Cumulative prefix counts agree with a running oracle sum.
+    cumulative = vector.cumulative()
+    assert cumulative[0] == 0
+    assert cumulative[-1] == len(oracle)
+    running = 0
+    for position in sorted(oracle):
+        assert cumulative[position] == running
+        running += 1
+        assert cumulative[position + 1] == running
+
+
+@settings(max_examples=60, deadline=None)
+@given(dv_sizes, st.data())
+def test_delete_vector_set_clear_idempotent(size, data):
+    vector = DeleteVector(size)
+    if size == 0:
+        assert vector.count() == 0 and vector.is_empty
+        return
+    position = data.draw(st.integers(min_value=0, max_value=size - 1))
+    assert vector.set(position) is True
+    assert vector.set(position) is False  # re-set is a no-op
+    assert vector.count() == 1
+    assert vector.clear(position) is True
+    assert vector.clear(position) is False  # re-clear is a no-op
+    assert vector.count() == 0 and vector.is_empty
+
+
+def test_delete_vector_empty_full_boundary_pages():
+    # Empty vector: header-only blob round-trips.
+    empty = DeleteVector(0)
+    assert DeleteVector.from_bytes(empty.to_bytes()) == empty
+    # Fully-populated vector at byte and page boundaries.
+    for size in (1, 7, 8, 9, 1024 * 8, 1024 * 8 + 1):
+        vector = DeleteVector(size)
+        vector.set_many(range(size))
+        assert vector.count() == size
+        back = DeleteVector.from_bytes(vector.to_bytes(page_bytes=1024))
+        assert back == vector and back.count() == size
+
+
+def test_delete_vector_corruption_detected():
+    vector = DeleteVector(100)
+    vector.set_many([0, 50, 99])
+    blob = bytearray(vector.to_bytes(page_bytes=16))
+    # Flip one payload bit: some page CRC must fail.
+    blob[len(blob) // 2] ^= 0x01
+    try:
+        DeleteVector.from_bytes(bytes(blob))
+    except (ChecksumError, StorageError):
+        pass
+    else:  # pragma: no cover - the flip must be caught
+        raise AssertionError("corrupted delete vector decoded cleanly")
+
+
+def test_delete_vector_tail_bits_must_be_zero():
+    import struct
+    import zlib
+
+    import pytest
+
+    vector = DeleteVector(9)  # two bytes, 7 padding bits in the tail
+    vector.set(8)
+    assert DeleteVector.from_bytes(vector.to_bytes()) == vector
+
+    # Forge a blob whose header claims size 9 but whose (CRC-valid)
+    # payload carries bit 15 set — a bit past the logical size.  Both
+    # sizes need two payload bytes and one page, so only the header's
+    # size field and CRC change; the decoder's tail-bit validation is
+    # the sole guard.
+    grown = DeleteVector(16)
+    grown.set_many([8, 15])
+    blob = bytearray(grown.to_bytes())
+    header_struct = struct.Struct("<4sIQII")
+    magic, version, _size, page_bytes, num_pages = header_struct.unpack_from(
+        bytes(blob)
+    )
+    forged_head = header_struct.pack(magic, version, 9, page_bytes, num_pages)
+    blob[: header_struct.size] = forged_head
+    struct.pack_into("<I", blob, header_struct.size, zlib.crc32(forged_head))
+    with pytest.raises(StorageError, match="past its logical size"):
+        DeleteVector.from_bytes(bytes(blob))
